@@ -1,0 +1,47 @@
+//! Microbenchmarks for the Bloom filter: insert and query throughput at the
+//! paper's design point (ε = 1%, ≈10 bits per element).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datanet::BloomFilter;
+use datanet_dfs::SubDatasetId;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom_insert");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut f = BloomFilter::with_rate(n, 0.01);
+                for i in 0..n as u64 {
+                    f.insert(SubDatasetId(black_box(i)));
+                }
+                f
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut f = BloomFilter::with_rate(n, 0.01);
+    for i in 0..n as u64 {
+        f.insert(SubDatasetId(i));
+    }
+    c.bench_function("bloom_query_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % n as u64;
+            black_box(f.contains(SubDatasetId(i)))
+        });
+    });
+    c.bench_function("bloom_query_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(f.contains(SubDatasetId(n as u64 + i)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Planning cost of the three distribution-aware strategies. The paper's
+//! pitch is that DataNet's scheduling is cheap enough to run before every
+//! job; this bench quantifies that for Algorithm 1 (both policies) and the
+//! Ford–Fulkerson planner.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datanet::planner::BalancePolicy;
+use datanet::{Algorithm1, ElasticMapArray, FordFulkersonPlanner, Separation};
+use datanet_bench::movie_dataset;
+
+fn bench_planners(c: &mut Criterion) {
+    let (dfs, catalog) = movie_dataset(32);
+    let hot = catalog.most_reviewed();
+    let view = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3)).view(hot);
+    let mut g = c.benchmark_group("planners");
+    g.sample_size(20);
+    g.bench_function("algorithm1_paced", |b| {
+        b.iter(|| {
+            Algorithm1::with_policy(dfs.namenode(), black_box(&view), BalancePolicy::PacedGreedy)
+                .plan_balanced()
+        });
+    });
+    g.bench_function("algorithm1_best_fit", |b| {
+        b.iter(|| {
+            Algorithm1::with_policy(
+                dfs.namenode(),
+                black_box(&view),
+                BalancePolicy::BestFitTerminal,
+            )
+            .plan_balanced()
+        });
+    });
+    g.bench_function("ford_fulkerson", |b| {
+        b.iter(|| FordFulkersonPlanner::new(&dfs, black_box(&view)).plan());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

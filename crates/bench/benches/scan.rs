@@ -1,0 +1,32 @@
+//! Meta-data construction throughput: the single scan over all blocks,
+//! sequential vs Rayon-parallel (per-block ElasticMaps are independent, so
+//! the scan should scale with cores).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datanet::{ElasticMapArray, Separation};
+use datanet_bench::movie_dataset;
+
+fn bench_scan(c: &mut Criterion) {
+    let (dfs, _) = movie_dataset(32);
+    let mut g = c.benchmark_group("elasticmap_array_build");
+    g.sample_size(20);
+    g.bench_function("sequential", |b| {
+        b.iter(|| ElasticMapArray::build_sequential(black_box(&dfs), &Separation::Alpha(0.3)));
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| ElasticMapArray::build(black_box(&dfs), &Separation::Alpha(0.3)));
+    });
+    g.finish();
+}
+
+fn bench_view(c: &mut Criterion) {
+    let (dfs, catalog) = movie_dataset(32);
+    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+    let hot = catalog.most_reviewed();
+    c.bench_function("view_hot_subdataset", |b| {
+        b.iter(|| black_box(arr.view(hot)));
+    });
+}
+
+criterion_group!(benches, bench_scan, bench_view);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 8 — the GitHub event-log experiment (Section V-A-4).
+//!
+//! (a) `IssueEvent` distribution over the first 128 blocks: imbalanced but
+//!     *not* content-clustered.
+//! (b) Per-node workload under locality scheduling.
+//!
+//! Plus the paper's headline numbers for this dataset: the longest Top-K
+//! map time drops from 125 s to 107 s (a much smaller win than on the movie
+//! data, because the distribution is less skewed).
+
+use datanet::{ElasticMapArray, Separation};
+use datanet_analytics::profiles::top_k_profile;
+use datanet_bench::{github_dataset, Table, NODES};
+use datanet_mapreduce::{
+    run_analysis, run_selection, AnalysisConfig, DataNetScheduler, LocalityScheduler,
+    SelectionConfig,
+};
+use datanet_workloads::EventType;
+
+fn main() {
+    let dfs = github_dataset(NODES);
+    let issue = EventType::Issue.id();
+    let truth = dfs.subdataset_distribution(issue);
+
+    println!("== Figure 8(a): IssueEvent bytes over the first 128 blocks (kB) ==");
+    let mut t = Table::new(["block", "kB"]);
+    for (i, b) in truth.iter().take(128).enumerate() {
+        t.row([i.to_string(), format!("{:.1}", *b as f64 / 1024.0)]);
+    }
+    t.print();
+    let nonzero = truth.iter().filter(|&&b| b > 0).count();
+    println!(
+        "present in {nonzero}/{} blocks (no content clustering, but imbalanced)\n",
+        truth.len()
+    );
+
+    let view = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3)).view(issue);
+    let sel = SelectionConfig::default();
+    let mut base = LocalityScheduler::new(&dfs);
+    let without = run_selection(&dfs, &truth, &mut base, &sel);
+    let mut dn = DataNetScheduler::new(&dfs, &view);
+    let with = run_selection(&dfs, &truth, &mut dn, &sel);
+
+    println!("== Figure 8(b): IssueEvent workload per node (kB) ==");
+    let mut t = Table::new(["node", "without DataNet", "with DataNet"]);
+    for n in 0..NODES as usize {
+        t.row([
+            n.to_string(),
+            format!("{:.1}", without.per_node_bytes[n] as f64 / 1024.0),
+            format!("{:.1}", with.per_node_bytes[n] as f64 / 1024.0),
+        ]);
+    }
+    t.print();
+
+    let ana = AnalysisConfig::default();
+    let tw = run_analysis(&without.per_node_bytes, &top_k_profile(), &ana);
+    let td = run_analysis(&with.per_node_bytes, &top_k_profile(), &ana);
+    println!(
+        "\nTop-K Search longest map: without = {:.3}s, with = {:.3}s ({:.1}% better)",
+        tw.map_summary().max(),
+        td.map_summary().max(),
+        100.0 * (1.0 - td.map_summary().max() / tw.map_summary().max())
+    );
+    println!(
+        "(paper: 125s -> 107s, i.e. 14.4% — \"the overall improvement is much\n\
+         less than that of the movie dataset\" because IssueEvent is far less\n\
+         clustered; imbalance comes only from mix drift)"
+    );
+}

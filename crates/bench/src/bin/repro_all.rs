@@ -1,0 +1,38 @@
+//! Runs every table/figure reproduction in paper order, then the extension
+//! studies (ablation, aggregation planning, heterogeneous clusters). Each
+//! section's logic lives in the corresponding binary; this file only
+//! orchestrates.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("binary directory");
+    let binaries = [
+        "fig1",
+        "fig2",
+        "table1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "table2",
+        "fig9",
+        "fig10",
+        "migration",
+        "ablation",
+        "aggregation",
+        "hetero",
+        "speculation",
+        "amortization",
+        "io_savings",
+    ];
+    for bin in binaries {
+        println!("\n######## {bin} ########\n");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Table I — "The size information of movies within a block file": the
+//! per-sub-dataset sizes an ElasticMap records for one block, largest
+//! first.
+
+use datanet::{ElasticMap, Separation};
+use datanet_bench::{movie_dataset, Table, NODES};
+
+fn main() {
+    let (dfs, _) = movie_dataset(NODES);
+    let block = dfs.block(datanet_dfs::BlockId(0));
+    let map = ElasticMap::build(block, &Separation::All);
+
+    println!("== Table I: movie sizes within block b0 ==");
+    let mut entries: Vec<_> = map.exact_entries().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut t = Table::new(["movie id", "bytes", "# reviews (approx)"]);
+    for (id, bytes) in entries.iter().take(15) {
+        t.row([
+            id.to_string(),
+            bytes.to_string(),
+            format!("{}", bytes / 600),
+        ]);
+    }
+    t.print();
+    println!(
+        "... {} distinct movies in this one {} kB block",
+        map.distinct(),
+        block.bytes() / 1024
+    );
+}

@@ -1,0 +1,20 @@
+//! Shared scaffolding for the reproduction harness: canonical experiment
+//! datasets (scaled versions of the paper's setups) and table-printing
+//! helpers used by the `fig*`/`table*` binaries.
+//!
+//! ## Scaling
+//!
+//! The paper stores 256 × 64 MB blocks on 32–128 Marmot nodes. This harness
+//! keeps the *block count*, *node count*, *replication* and all
+//! distributional parameters, and scales the block size down to 256 kB so a
+//! full figure regenerates in seconds on a laptop. The simulator's outputs
+//! are ratios of byte quantities over hardware rates, so every comparative
+//! claim (who wins, by what factor, where the crossover sits) is preserved;
+//! absolute seconds are not comparable to the paper's testbed and are not
+//! meant to be.
+
+pub mod setup;
+pub mod table;
+
+pub use setup::{github_dataset, movie_dataset, MOVIE_BLOCKS, NODES};
+pub use table::Table;

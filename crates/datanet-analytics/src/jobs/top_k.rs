@@ -1,0 +1,260 @@
+//! Top-K Search — "finding K sequences with the most similarity to a given
+//! sequence. This algorithm needs heavy computation due to the similarity
+//! comparison between sequences."
+
+use crate::jobs::RecordJob;
+use crate::profiles::top_k_profile;
+use datanet_dfs::Record;
+use datanet_mapreduce::JobProfile;
+
+/// Finds the records whose token sequences are most similar to a query
+/// sequence. Similarity is normalised longest-common-subsequence length —
+/// quadratic in the sequence length, which is what makes this job
+/// compute-bound.
+#[derive(Debug, Clone)]
+pub struct TopKSearch {
+    /// The query sequence.
+    pub query: Vec<u32>,
+    /// Token alphabet size used when materialising record sequences.
+    pub alphabet: u32,
+    /// Sequence length per record.
+    pub seq_len: usize,
+    /// Similarity quantisation for the intermediate key space.
+    pub buckets: u64,
+}
+
+impl Default for TopKSearch {
+    fn default() -> Self {
+        Self {
+            query: (0..64).map(|i| i % 4).collect(),
+            alphabet: 4,
+            seq_len: 64,
+            buckets: 1000,
+        }
+    }
+}
+
+impl TopKSearch {
+    /// Normalised LCS similarity in `[0, 1]` between two sequences.
+    /// O(|a|·|b|) dynamic program — the deliberate compute hot spot.
+    pub fn similarity(a: &[u32], b: &[u32]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        // Two-row DP to keep memory linear.
+        let mut prev = vec![0u32; b.len() + 1];
+        let mut curr = vec![0u32; b.len() + 1];
+        for &x in a {
+            for (j, &y) in b.iter().enumerate() {
+                curr[j + 1] = if x == y {
+                    prev[j] + 1
+                } else {
+                    prev[j + 1].max(curr[j])
+                };
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[b.len()] as f64 / a.len().max(b.len()) as f64
+    }
+
+    /// Similarity of one record to the query.
+    pub fn record_similarity(&self, record: &Record) -> f64 {
+        let seq = record.payload().sequence(self.seq_len, self.alphabet);
+        Self::similarity(&seq, &self.query)
+    }
+}
+
+impl RecordJob for TopKSearch {
+    fn name(&self) -> &str {
+        "TopKSearch"
+    }
+
+    fn profile(&self) -> JobProfile {
+        top_k_profile()
+    }
+
+    /// Emits `(quantised similarity, 1)`: the reduce side then reads off
+    /// the highest non-empty buckets to recover the top-K set.
+    fn map(&self, record: &Record, emit: &mut dyn FnMut(u64, f64)) {
+        let sim = self.record_similarity(record);
+        let bucket = (sim * (self.buckets - 1) as f64).round() as u64;
+        emit(bucket, 1.0);
+    }
+
+    fn reduce(&self, _key: u64, values: &[f64]) -> f64 {
+        values.iter().sum()
+    }
+
+    /// Counting is associative: partial sums combine losslessly.
+    fn combine(&self, _key: u64, values: &[f64]) -> Option<Vec<f64>> {
+        Some(vec![values.iter().sum()])
+    }
+}
+
+/// Streaming collector for the actual top-K records (not just the
+/// histogram the MapReduce path produces): keeps the K highest-similarity
+/// `(similarity, record seed)` pairs seen so far in a min-heap.
+#[derive(Debug, Clone)]
+pub struct TopKCollector {
+    k: usize,
+    /// Min-heap over (quantised similarity, seed): the root is the weakest
+    /// member, evicted when something better arrives.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+}
+
+impl TopKCollector {
+    /// Collector for the best `k` records.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k needs k >= 1");
+        Self {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer one record's similarity (quantised to keep ordering total).
+    pub fn offer(&mut self, similarity: f64, seed: u64) {
+        debug_assert!((0.0..=1.0).contains(&similarity));
+        let quantised = (similarity * 1e9) as u64;
+        self.heap.push(std::cmp::Reverse((quantised, seed)));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// Merge another collector (for per-partition parallel collection).
+    pub fn merge(&mut self, other: TopKCollector) {
+        for std::cmp::Reverse((q, seed)) in other.heap {
+            self.heap.push(std::cmp::Reverse((q, seed)));
+            if self.heap.len() > self.k {
+                self.heap.pop();
+            }
+        }
+    }
+
+    /// The collected records, best first, as `(similarity, seed)`.
+    pub fn into_sorted(self) -> Vec<(f64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v.into_iter().map(|(q, s)| (q as f64 / 1e9, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::testutil::records;
+
+    #[test]
+    fn lcs_identities() {
+        let a = [1u32, 2, 3, 4];
+        assert_eq!(TopKSearch::similarity(&a, &a), 1.0);
+        assert_eq!(TopKSearch::similarity(&a, &[5, 6, 7, 8]), 0.0);
+        assert_eq!(TopKSearch::similarity(&a, &[]), 0.0);
+        // "1 3" is a subsequence of a: LCS=2, normalised by max(4,2)=4.
+        assert_eq!(TopKSearch::similarity(&a, &[1, 3]), 0.5);
+    }
+
+    #[test]
+    fn lcs_is_symmetric() {
+        let a = [1u32, 2, 1, 3, 2];
+        let b = [2u32, 1, 2, 2, 3];
+        assert_eq!(
+            TopKSearch::similarity(&a, &b),
+            TopKSearch::similarity(&b, &a)
+        );
+    }
+
+    #[test]
+    fn similarities_bounded() {
+        let job = TopKSearch::default();
+        for r in &records(30) {
+            let s = job.record_similarity(r);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn map_emits_one_bucket_per_record() {
+        let job = TopKSearch::default();
+        let mut n = 0;
+        for r in &records(20) {
+            job.map(r, &mut |k, v| {
+                assert!(k < job.buckets);
+                assert_eq!(v, 1.0);
+                n += 1;
+            });
+        }
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn collector_keeps_the_best_k() {
+        let mut c = TopKCollector::new(3);
+        for (i, sim) in [0.1, 0.9, 0.5, 0.95, 0.2, 0.7].iter().enumerate() {
+            c.offer(*sim, i as u64);
+        }
+        let top = c.into_sorted();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].1, 3); // 0.95
+        assert_eq!(top[1].1, 1); // 0.9
+        assert_eq!(top[2].1, 5); // 0.7
+        assert!(top[0].0 > top[1].0 && top[1].0 > top[2].0);
+    }
+
+    #[test]
+    fn collector_merge_equals_single_stream() {
+        let sims: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37) % 1.0).collect();
+        let mut whole = TopKCollector::new(5);
+        for (i, &s) in sims.iter().enumerate() {
+            whole.offer(s, i as u64);
+        }
+        let mut a = TopKCollector::new(5);
+        let mut b = TopKCollector::new(5);
+        for (i, &s) in sims.iter().enumerate() {
+            if i % 2 == 0 {
+                a.offer(s, i as u64);
+            } else {
+                b.offer(s, i as u64);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.into_sorted(), whole.into_sorted());
+    }
+
+    #[test]
+    fn collector_with_the_real_job() {
+        let job = TopKSearch::default();
+        let mut c = TopKCollector::new(4);
+        for r in &records(30) {
+            c.offer(job.record_similarity(r), r.seed);
+        }
+        let top = c.into_sorted();
+        assert_eq!(top.len(), 4);
+        assert!(top.windows(2).all(|w| w[0].0 >= w[1].0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        TopKCollector::new(0);
+    }
+
+    #[test]
+    fn random_sequences_over_small_alphabet_are_somewhat_similar() {
+        // With alphabet 4 and length 64, random LCS similarity concentrates
+        // well above 0 — sanity check that the compute actually discriminates.
+        let job = TopKSearch::default();
+        let sims: Vec<f64> = records(50)
+            .iter()
+            .map(|r| job.record_similarity(r))
+            .collect();
+        let mean = sims.iter().sum::<f64>() / sims.len() as f64;
+        assert!(mean > 0.3 && mean < 0.95, "mean similarity {mean}");
+        // Not all identical.
+        assert!(sims.iter().any(|&s| (s - mean).abs() > 1e-3));
+    }
+}

@@ -1,0 +1,26 @@
+//! The sub-dataset analysis applications of Section V, plus extensions.
+//!
+//! Each of the paper's four MapReduce jobs exists in two forms:
+//!
+//! * a **cost profile** ([`profiles`]) consumed by the simulated engine in
+//!   `datanet-mapreduce` (used for the Figure 5–7 reproductions), and
+//! * a **real implementation** ([`jobs`], [`executor`]) that maps and
+//!   reduces actual records under Rayon — one worker per virtual node — so
+//!   the imbalance effects can also be observed as genuine wall-clock skew
+//!   on the machine running the benchmarks.
+//!
+//! [`session`] (user sessionization) and [`flows`] (network-flow
+//! construction) implement the two motivating analyses from the paper's
+//! introduction as additional sub-dataset applications.
+
+pub mod executor;
+pub mod flows;
+pub mod jobs;
+pub mod profiles;
+pub mod session;
+
+pub use executor::{partitions_from_assignment, LocalExecutor, LocalRunReport};
+pub use jobs::{
+    AggregateHistogram, MovingAverage, RecordJob, TopKCollector, TopKSearch, WordCount,
+};
+pub use profiles::{histogram_profile, moving_average_profile, top_k_profile, word_count_profile};

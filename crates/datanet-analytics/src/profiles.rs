@@ -1,0 +1,78 @@
+//! Cost profiles of the four Section V applications for the simulated
+//! engine.
+//!
+//! Calibration targets the paper's *relative* statements, not absolute
+//! seconds:
+//!
+//! * Moving Average "only needs to iterate the data" — map factor near 1,
+//!   tiny intermediate output;
+//! * Word Count "needs to combine words" — several CPU operations per byte
+//!   and a substantial shuffle volume;
+//! * Aggregate Word Histogram is Word Count-like with a coarser key space
+//!   (less shuffle);
+//! * Top-K Search "needs heavy computation due to the similarity
+//!   comparison" — by far the largest map factor, negligible output.
+//!
+//! With these shapes the simulated Figure 5(a) improvements land near the
+//! paper's 20 / 39 / 41 / 42 % ordering (see EXPERIMENTS.md).
+
+use datanet_mapreduce::JobProfile;
+
+/// Moving Average: single pass over ratings, windowed means.
+pub fn moving_average_profile() -> JobProfile {
+    JobProfile::new("MovingAverage", 0.35, 0.04, 0.5)
+}
+
+/// Word Count: tokenize + combine; intermediate data is word/count pairs.
+pub fn word_count_profile() -> JobProfile {
+    JobProfile::new("WordCount", 8.0, 0.35, 1.0)
+}
+
+/// Aggregate Word Histogram: tokenize + bucket; coarser keys than Word
+/// Count so less shuffle volume at similar map cost.
+pub fn histogram_profile() -> JobProfile {
+    JobProfile::new("Histogram", 9.0, 0.12, 1.0)
+}
+
+/// Top-K Search: per-record similarity comparison against the query
+/// sequence; compute-dominated, top lists are tiny.
+pub fn top_k_profile() -> JobProfile {
+    JobProfile::new("TopKSearch", 14.0, 0.01, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_valid() {
+        for p in [
+            moving_average_profile(),
+            word_count_profile(),
+            histogram_profile(),
+            top_k_profile(),
+        ] {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn compute_intensity_ordering_matches_paper() {
+        // MovingAverage < WordCount ≤ Histogram < TopK.
+        let ma = moving_average_profile().map_compute_factor;
+        let wc = word_count_profile().map_compute_factor;
+        let hg = histogram_profile().map_compute_factor;
+        let tk = top_k_profile().map_compute_factor;
+        assert!(ma < wc && wc <= hg && hg < tk);
+    }
+
+    #[test]
+    fn shuffle_volume_ordering() {
+        // WordCount shuffles the most; TopK the least.
+        let wc = word_count_profile().output_ratio;
+        let hg = histogram_profile().output_ratio;
+        let ma = moving_average_profile().output_ratio;
+        let tk = top_k_profile().output_ratio;
+        assert!(wc > hg && hg > ma && ma > tk);
+    }
+}

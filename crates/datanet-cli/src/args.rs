@@ -1,0 +1,142 @@
+//! A small, dependency-free command-line argument parser: `--key value`
+//! flags plus positional arguments, with typed accessors and helpful
+//! errors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed arguments: positionals in order plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+/// A parse or lookup failure, rendered for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a raw token stream (no program name).
+    ///
+    /// # Errors
+    /// A `--flag` at the end of the stream with no value.
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut positional = Vec::new();
+        let mut options = HashMap::new();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{key} expects a value")))?;
+                options.insert(key.to_string(), value);
+            } else {
+                positional.push(tok);
+            }
+        }
+        Ok(Self {
+            positional,
+            options,
+        })
+    }
+
+    /// Positional argument `i`, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Required positional argument `i`.
+    ///
+    /// # Errors
+    /// Missing positional.
+    pub fn require_positional(&self, i: usize, name: &str) -> Result<&str, ArgError> {
+        self.positional(i)
+            .ok_or_else(|| ArgError(format!("missing <{name}> argument")))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    /// Missing flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required --{key} <value>")))
+    }
+
+    /// Typed flag with a default.
+    ///
+    /// # Errors
+    /// Unparsable value.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| ArgError(format!("--{key} {raw}: {e}"))),
+        }
+    }
+
+    /// Number of positional arguments.
+    #[allow(dead_code)] // exercised by tests; kept for API symmetry
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).expect("parses")
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse("gen movies --records 100 --seed 7 out.json");
+        assert_eq!(a.positional(0), Some("gen"));
+        assert_eq!(a.positional(1), Some("movies"));
+        assert_eq!(a.positional(2), Some("out.json"));
+        assert_eq!(a.positional_len(), 3);
+        assert_eq!(a.get("records"), Some("100"));
+        assert_eq!(a.get_or("records", 5usize).unwrap(), 100);
+        assert_eq!(a.get_or("missing", 5usize).unwrap(), 5);
+        assert_eq!(a.require("seed").unwrap(), "7");
+    }
+
+    #[test]
+    fn dangling_flag_is_an_error() {
+        let err = Args::parse(["--oops".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("--oops"));
+    }
+
+    #[test]
+    fn bad_typed_value_is_an_error() {
+        let a = parse("--records nope");
+        assert!(a.get_or("records", 1usize).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_an_error() {
+        let a = parse("gen");
+        assert!(a.require("alpha").is_err());
+        assert!(a.require_positional(3, "file").is_err());
+    }
+}

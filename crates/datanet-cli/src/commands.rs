@@ -1,0 +1,361 @@
+//! CLI command implementations. Each command takes parsed [`Args`] and
+//! writes human-readable output to the given writer (injected for testing).
+
+use crate::args::{ArgError, Args};
+use crate::dataset::DatasetFile;
+use datanet::{Algorithm1, ElasticMapArray, FordFulkersonPlanner, MetaStore, Separation};
+use datanet_analytics::profiles::{
+    histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
+};
+use datanet_dfs::{DfsConfig, SubDatasetId, Topology};
+use datanet_mapreduce::{
+    run_pipeline, AnalysisConfig, DataNetScheduler, JobProfile, LocalityScheduler, SelectionConfig,
+};
+use datanet_workloads::{GithubConfig, MoviesConfig, WorldCupConfig};
+use std::io::Write;
+use std::path::Path;
+
+/// Top-level error: argument problems or I/O.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage.
+    Args(ArgError),
+    /// Filesystem/serialisation problems.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "usage error: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+datanet — sub-dataset distribution-aware analysis (DataNet, IPDPS'16)
+
+USAGE:
+  datanet gen <movies|github|worldcup> --out FILE
+              [--records N] [--nodes N] [--block-kb N] [--seed N]
+  datanet scan --dataset FILE --meta DIR [--alpha F] [--shard-blocks N]
+  datanet query --dataset FILE --meta DIR --subdataset ID
+  datanet plan --dataset FILE --meta DIR --subdataset ID [--planner alg1|maxflow]
+  datanet simulate --dataset FILE --subdataset ID
+              [--job movingaverage|wordcount|histogram|topk] [--alpha F]
+  datanet help
+";
+
+/// Dispatch a command line (tokens exclude the program name).
+///
+/// # Errors
+/// Usage or I/O failures; the caller prints them and exits non-zero.
+pub fn dispatch(tokens: Vec<String>, out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    match args.positional(0) {
+        Some("gen") => cmd_gen(&args, out),
+        Some("scan") => cmd_scan(&args, out),
+        Some("query") => cmd_query(&args, out),
+        Some("plan") => cmd_plan(&args, out),
+        Some("simulate") => cmd_simulate(&args, out),
+        Some("help") | None => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Some(other) => {
+            Err(ArgError(format!("unknown command `{other}`; try `datanet help`")).into())
+        }
+    }
+}
+
+fn dfs_config(args: &Args) -> Result<DfsConfig, CliError> {
+    let nodes: u32 = args.get_or("nodes", 16)?;
+    let block_kb: u64 = args.get_or("block-kb", 256)?;
+    let seed: u64 = args.get_or("seed", 0xDA7A)?;
+    Ok(DfsConfig {
+        block_size: block_kb * 1024,
+        replication: 3,
+        topology: Topology::single_rack(nodes),
+        seed,
+    })
+}
+
+fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let kind = args.require_positional(1, "generator")?;
+    let records: usize = args.get_or("records", 100_000)?;
+    let seed: u64 = args.get_or("seed", 0xDA7A)?;
+    let records = match kind {
+        "movies" => {
+            MoviesConfig {
+                records,
+                seed,
+                ..Default::default()
+            }
+            .generate()
+            .0
+        }
+        "github" => GithubConfig {
+            records,
+            seed,
+            ..Default::default()
+        }
+        .generate(),
+        "worldcup" => WorldCupConfig {
+            records,
+            seed,
+            ..Default::default()
+        }
+        .generate(),
+        other => return Err(ArgError(format!("unknown generator `{other}`")).into()),
+    };
+    let ds = DatasetFile {
+        generator: kind.to_string(),
+        config: dfs_config(args)?,
+        records,
+    };
+    let path = args.require("out")?;
+    ds.save(Path::new(path))?;
+    let dfs = ds.to_dfs();
+    writeln!(
+        out,
+        "wrote {} records ({} blocks, {} nodes) to {path}",
+        ds.records.len(),
+        dfs.block_count(),
+        ds.config.topology.len()
+    )?;
+    Ok(())
+}
+
+fn cmd_scan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
+    let alpha: f64 = args.get_or("alpha", 0.3)?;
+    let shard_blocks: usize = args.get_or("shard-blocks", 64)?;
+    let dfs = ds.to_dfs();
+    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha));
+    let dir = Path::new(args.require("meta")?);
+    MetaStore::save(&arr, dir, shard_blocks)?;
+    let store = MetaStore::open(dir, 1)?;
+    writeln!(
+        out,
+        "scanned {} blocks at alpha={alpha}: {} bytes of meta-data on disk \
+         ({}x smaller than the raw data), accuracy chi = {:.1}%",
+        arr.len(),
+        store.disk_bytes()?,
+        dfs.total_bytes() / store.disk_bytes()?.max(1),
+        arr.accuracy(&dfs) * 100.0
+    )?;
+    Ok(())
+}
+
+fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
+    let mut store = MetaStore::open(Path::new(args.require("meta")?), 4)?;
+    let id: u64 = args
+        .require("subdataset")?
+        .parse()
+        .map_err(|e| ArgError(format!("--subdataset: {e}")))?;
+    let s = SubDatasetId(id);
+    let view = store.view(s)?;
+    let dfs = ds.to_dfs();
+    writeln!(
+        out,
+        "sub-dataset {s}: {} blocks ({} exact + {} bloom), estimated {} bytes, \
+         actual {} bytes, delta = {}",
+        view.block_count(),
+        view.exact().len(),
+        view.bloom().len(),
+        view.estimated_total(),
+        dfs.subdataset_total(s),
+        view.delta()
+    )?;
+    Ok(())
+}
+
+fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
+    let mut store = MetaStore::open(Path::new(args.require("meta")?), 4)?;
+    let id: u64 = args
+        .require("subdataset")?
+        .parse()
+        .map_err(|e| ArgError(format!("--subdataset: {e}")))?;
+    let view = store.view(SubDatasetId(id))?;
+    let dfs = ds.to_dfs();
+    let planner = args.get("planner").unwrap_or("alg1");
+    let plan = match planner {
+        "alg1" => Algorithm1::new(&dfs, &view).plan_balanced(),
+        "maxflow" => FordFulkersonPlanner::new(&dfs, &view).plan(),
+        other => return Err(ArgError(format!("unknown planner `{other}`")).into()),
+    };
+    writeln!(
+        out,
+        "{planner} plan: {} tasks over {} nodes, imbalance {:.3}, locality {:.0}%",
+        plan.assigned_blocks(),
+        plan.node_count(),
+        plan.imbalance(),
+        plan.locality_fraction() * 100.0
+    )?;
+    for n in 0..plan.node_count() {
+        writeln!(
+            out,
+            "  node {n}: {} blocks, {} bytes",
+            plan.tasks_of(datanet_dfs::NodeId(n as u32)).len(),
+            plan.workloads()[n]
+        )?;
+    }
+    Ok(())
+}
+
+fn job_by_name(name: &str) -> Result<JobProfile, CliError> {
+    Ok(match name {
+        "movingaverage" => moving_average_profile(),
+        "wordcount" => word_count_profile(),
+        "histogram" => histogram_profile(),
+        "topk" => top_k_profile(),
+        other => return Err(ArgError(format!("unknown job `{other}`")).into()),
+    })
+}
+
+fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
+    let id: u64 = args
+        .require("subdataset")?
+        .parse()
+        .map_err(|e| ArgError(format!("--subdataset: {e}")))?;
+    let s = SubDatasetId(id);
+    let job = job_by_name(args.get("job").unwrap_or("wordcount"))?;
+    let alpha: f64 = args.get_or("alpha", 0.3)?;
+    let dfs = ds.to_dfs();
+    let sel = SelectionConfig::default();
+    let ana = AnalysisConfig::default();
+
+    let mut base = LocalityScheduler::new(&dfs);
+    let without = run_pipeline(&dfs, s, &mut base, &job, &sel, &ana);
+    let view = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha)).view(s);
+    let mut dn = DataNetScheduler::new(&dfs, &view);
+    let with = run_pipeline(&dfs, s, &mut dn, &job, &sel, &ana);
+
+    writeln!(out, "{} over sub-dataset {s}:", job.name)?;
+    writeln!(
+        out,
+        "  without DataNet: selection {:.3}s + job {:.3}s = {:.3}s (imbalance {:.2})",
+        without.selection.end.as_secs_f64(),
+        without.job.makespan_secs,
+        without.total_secs(),
+        without.selection.imbalance()
+    )?;
+    writeln!(
+        out,
+        "  with DataNet   : selection {:.3}s + job {:.3}s = {:.3}s (imbalance {:.2})",
+        with.selection.end.as_secs_f64(),
+        with.job.makespan_secs,
+        with.total_secs(),
+        with.selection.imbalance()
+    )?;
+    writeln!(
+        out,
+        "  improvement: {:.1}%",
+        100.0 * (1.0 - with.total_secs() / without.total_secs())
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmd: &str) -> Result<String, CliError> {
+        let mut out = Vec::new();
+        dispatch(cmd.split_whitespace().map(String::from).collect(), &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("datanet-cli-{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run("help").unwrap();
+        assert!(s.contains("USAGE"));
+        let s = run("").unwrap();
+        assert!(s.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run("frobnicate").is_err());
+    }
+
+    #[test]
+    fn full_workflow_gen_scan_query_plan_simulate() {
+        let ds = tmp("ds.json");
+        let meta = tmp("meta");
+        let s = run(&format!(
+            "gen movies --records 20000 --nodes 8 --block-kb 64 --out {ds}"
+        ))
+        .unwrap();
+        assert!(s.contains("wrote 20000 records"), "{s}");
+
+        let s = run(&format!("scan --dataset {ds} --meta {meta} --alpha 0.3")).unwrap();
+        assert!(s.contains("meta-data"), "{s}");
+
+        let s = run(&format!(
+            "query --dataset {ds} --meta {meta} --subdataset 0"
+        ))
+        .unwrap();
+        assert!(s.contains("sub-dataset s0"), "{s}");
+
+        let s = run(&format!("plan --dataset {ds} --meta {meta} --subdataset 0")).unwrap();
+        assert!(s.contains("alg1 plan"), "{s}");
+        let s = run(&format!(
+            "plan --dataset {ds} --meta {meta} --subdataset 0 --planner maxflow"
+        ))
+        .unwrap();
+        assert!(s.contains("maxflow plan"), "{s}");
+
+        let s = run(&format!(
+            "simulate --dataset {ds} --subdataset 0 --job topk"
+        ))
+        .unwrap();
+        assert!(s.contains("improvement"), "{s}");
+
+        let _ = std::fs::remove_file(&ds);
+        let _ = std::fs::remove_dir_all(&meta);
+    }
+
+    #[test]
+    fn gen_rejects_unknown_generator() {
+        assert!(run("gen pigeons --out /tmp/x.json").is_err());
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_job() {
+        let ds = tmp("dsx.json");
+        run(&format!(
+            "gen github --records 5000 --nodes 4 --block-kb 64 --out {ds}"
+        ))
+        .unwrap();
+        let err = run(&format!(
+            "simulate --dataset {ds} --subdataset 1 --job bogus"
+        ));
+        assert!(err.is_err());
+        let _ = std::fs::remove_file(&ds);
+    }
+}

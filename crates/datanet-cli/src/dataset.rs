@@ -1,0 +1,82 @@
+//! On-disk dataset files shared between CLI commands: the record stream
+//! plus the DFS configuration, so every command rebuilds an identical DFS
+//! deterministically.
+
+use datanet_dfs::{Dfs, DfsConfig, Record};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A generated dataset, self-contained and reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetFile {
+    /// The generator that produced it (for provenance).
+    pub generator: String,
+    /// DFS layout parameters.
+    pub config: DfsConfig,
+    /// The record stream in write order.
+    pub records: Vec<Record>,
+}
+
+impl DatasetFile {
+    /// Serialise to a JSON file.
+    ///
+    /// # Errors
+    /// I/O or serialisation failures.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, serde_json::to_vec(self)?)
+    }
+
+    /// Load from a JSON file.
+    ///
+    /// # Errors
+    /// I/O or deserialisation failures.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Ok(serde_json::from_slice(&std::fs::read(path)?)?)
+    }
+
+    /// Rebuild the DFS (deterministic under the stored config).
+    pub fn to_dfs(&self) -> Dfs {
+        Dfs::write_random(self.config.clone(), self.records.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datanet_dfs::{SubDatasetId, Topology};
+
+    fn sample() -> DatasetFile {
+        DatasetFile {
+            generator: "test".into(),
+            config: DfsConfig {
+                block_size: 1000,
+                replication: 2,
+                topology: Topology::single_rack(4),
+                seed: 9,
+            },
+            records: (0..50)
+                .map(|i| Record::new(SubDatasetId(i % 5), i, 100, i))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_deterministic_dfs() {
+        let ds = sample();
+        let path = std::env::temp_dir().join(format!("datanet-ds-{}.json", std::process::id()));
+        ds.save(&path).unwrap();
+        let loaded = DatasetFile::load(&path).unwrap();
+        assert_eq!(ds, loaded);
+        let a = ds.to_dfs();
+        let b = loaded.to_dfs();
+        assert_eq!(a.namenode(), b.namenode());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(DatasetFile::load(Path::new("/nonexistent/nowhere.json")).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! HDFS block files.
+//!
+//! The DFS splits an incoming record stream into fixed-capacity blocks in
+//! arrival order — exactly how HDFS chunks a chronologically-written log
+//! file. A block therefore contains "many sub-datasets", and one sub-dataset
+//! spans many blocks (Section I of the paper).
+
+use crate::ids::{BlockId, SubDatasetId};
+use crate::record::Record;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sealed block file holding records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    id: BlockId,
+    records: Vec<Record>,
+    bytes: u64,
+}
+
+impl Block {
+    /// Build a block from records. `bytes` is derived from record sizes.
+    pub fn new(id: BlockId, records: Vec<Record>) -> Self {
+        let bytes = records.iter().map(|r| r.size as u64).sum();
+        Self { id, records, bytes }
+    }
+
+    /// The block id.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Records in write order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Total payload bytes stored in this block.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Bytes in this block belonging to sub-dataset `s` — the paper's
+    /// `|b_i ∩ s_j|`. O(records); the whole point of ElasticMap is to avoid
+    /// calling this at query time, but it is the ground truth that tests and
+    /// the accuracy evaluation (Figure 9) compare against.
+    pub fn subdataset_bytes(&self, s: SubDatasetId) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.subdataset == s)
+            .map(|r| r.size as u64)
+            .sum()
+    }
+
+    /// Exact per-sub-dataset byte sizes within this block: the ground-truth
+    /// version of Table I. Single scan over the records.
+    pub fn subdataset_sizes(&self) -> HashMap<SubDatasetId, u64> {
+        let mut sizes = HashMap::new();
+        for r in &self.records {
+            *sizes.entry(r.subdataset).or_insert(0u64) += r.size as u64;
+        }
+        sizes
+    }
+
+    /// Iterator over records of one sub-dataset (the filter step of every
+    /// sub-dataset analysis job).
+    pub fn filter(&self, s: SubDatasetId) -> impl Iterator<Item = &Record> {
+        self.records.iter().filter(move |r| r.subdataset == s)
+    }
+}
+
+/// Lightweight block descriptor (id + size), used where the record payload
+/// is not needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    /// The block id.
+    pub id: BlockId,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Number of records.
+    pub records: usize,
+}
+
+impl From<&Block> for BlockMeta {
+    fn from(b: &Block) -> Self {
+        Self {
+            id: b.id(),
+            bytes: b.bytes(),
+            records: b.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Block {
+        Block::new(
+            BlockId(0),
+            vec![
+                Record::new(SubDatasetId(1), 0, 100, 1),
+                Record::new(SubDatasetId(2), 1, 50, 2),
+                Record::new(SubDatasetId(1), 2, 25, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let b = block();
+        assert_eq!(b.bytes(), 175);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.subdataset_bytes(SubDatasetId(1)), 125);
+        assert_eq!(b.subdataset_bytes(SubDatasetId(2)), 50);
+        assert_eq!(b.subdataset_bytes(SubDatasetId(3)), 0);
+    }
+
+    #[test]
+    fn sizes_table_matches_per_subdataset_query() {
+        let b = block();
+        let sizes = b.subdataset_sizes();
+        assert_eq!(sizes.len(), 2);
+        for (&s, &bytes) in &sizes {
+            assert_eq!(b.subdataset_bytes(s), bytes);
+        }
+        let total: u64 = sizes.values().sum();
+        assert_eq!(total, b.bytes());
+    }
+
+    #[test]
+    fn filter_returns_matching_records() {
+        let b = block();
+        let got: Vec<_> = b.filter(SubDatasetId(1)).collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|r| r.subdataset == SubDatasetId(1)));
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block::new(BlockId(9), vec![]);
+        assert!(b.is_empty());
+        assert_eq!(b.bytes(), 0);
+        assert!(b.subdataset_sizes().is_empty());
+    }
+
+    #[test]
+    fn meta_from_block() {
+        let m = BlockMeta::from(&block());
+        assert_eq!(m.id, BlockId(0));
+        assert_eq!(m.bytes, 175);
+        assert_eq!(m.records, 3);
+    }
+}

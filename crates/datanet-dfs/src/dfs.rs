@@ -1,0 +1,267 @@
+//! The distributed file system facade: write path and queries.
+//!
+//! [`Dfs::write_dataset`] streams records into fixed-size blocks in arrival
+//! order, seals each full block, and asks the placement policy for replica
+//! locations — the full HDFS write pipeline at the granularity the paper
+//! cares about.
+
+use crate::block::Block;
+use crate::ids::{BlockId, NodeId, SubDatasetId};
+use crate::namenode::NameNode;
+use crate::placement::{PlacementPolicy, RandomPlacement};
+use crate::record::Record;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a DFS instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DfsConfig {
+    /// Block capacity in bytes. The paper uses 64 MB; experiments here use a
+    /// scaled-down default (see DESIGN.md — the simulator's behaviour is
+    /// byte-ratio-invariant).
+    pub block_size: u64,
+    /// Replication factor (paper: 3).
+    pub replication: usize,
+    /// Data-node fleet.
+    pub topology: Topology,
+    /// Seed for placement randomness.
+    pub seed: u64,
+}
+
+impl DfsConfig {
+    /// The paper's setup at scale factor 1: 64 MB blocks, 3-way replication,
+    /// single-rack cluster of `nodes`.
+    pub fn paper(nodes: u32) -> Self {
+        Self {
+            block_size: 64 * 1024 * 1024,
+            replication: 3,
+            topology: Topology::single_rack(nodes),
+            seed: 0xDA7A_0001,
+        }
+    }
+
+    /// Scaled-down variant for laptop-scale experiments: `block_size` is
+    /// divided by `factor`, keeping the same number of blocks per dataset
+    /// when generators scale record volume by the same factor.
+    pub fn paper_scaled(nodes: u32, factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be positive");
+        let mut c = Self::paper(nodes);
+        c.block_size = (c.block_size / factor).max(1);
+        c
+    }
+}
+
+/// An in-memory DFS instance: sealed blocks plus NameNode metadata.
+#[derive(Debug, Clone)]
+pub struct Dfs {
+    config: DfsConfig,
+    blocks: Vec<Block>,
+    namenode: NameNode,
+}
+
+impl Dfs {
+    /// Write a dataset: chunk `records` (in stream order) into blocks of
+    /// `config.block_size` bytes and place replicas with `policy`.
+    ///
+    /// A record never straddles blocks (HDFS records are line-oriented; the
+    /// paper's block boundaries fall between records). A block is sealed
+    /// when adding the next record would exceed capacity.
+    pub fn write_dataset<P: PlacementPolicy>(
+        config: DfsConfig,
+        records: impl IntoIterator<Item = Record>,
+        policy: &P,
+    ) -> Self {
+        assert!(config.block_size > 0, "block size must be positive");
+        assert!(config.replication > 0, "replication must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut namenode = NameNode::new(config.topology.len());
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut current: Vec<Record> = Vec::new();
+        let mut current_bytes = 0u64;
+
+        let seal = |records: &mut Vec<Record>,
+                    blocks: &mut Vec<Block>,
+                    nn: &mut NameNode,
+                    rng: &mut StdRng| {
+            if records.is_empty() {
+                return;
+            }
+            let id = BlockId(blocks.len() as u32);
+            let block = Block::new(id, std::mem::take(records));
+            let locations = policy.place(id, &config.topology, config.replication, rng);
+            nn.register(id, locations);
+            blocks.push(block);
+        };
+
+        for r in records {
+            if current_bytes + r.size as u64 > config.block_size && !current.is_empty() {
+                seal(&mut current, &mut blocks, &mut namenode, &mut rng);
+                current_bytes = 0;
+            }
+            current_bytes += r.size as u64;
+            current.push(r);
+        }
+        seal(&mut current, &mut blocks, &mut namenode, &mut rng);
+
+        Self {
+            config,
+            blocks,
+            namenode,
+        }
+    }
+
+    /// Convenience write with [`RandomPlacement`] (the paper's model).
+    pub fn write_random(config: DfsConfig, records: impl IntoIterator<Item = Record>) -> Self {
+        Self::write_dataset(config, records, &RandomPlacement)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// All sealed blocks, id order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// One block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// NameNode metadata.
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total payload bytes across all blocks.
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.bytes()).sum()
+    }
+
+    /// Ground-truth bytes of sub-dataset `s` per block — the Figure 1(a)
+    /// series. O(total records).
+    pub fn subdataset_distribution(&self, s: SubDatasetId) -> Vec<u64> {
+        self.blocks.iter().map(|b| b.subdataset_bytes(s)).collect()
+    }
+
+    /// Ground-truth total bytes of sub-dataset `s`.
+    pub fn subdataset_total(&self, s: SubDatasetId) -> u64 {
+        self.subdataset_distribution(s).iter().sum()
+    }
+
+    /// Nodes holding a replica of `b` (delegates to the NameNode).
+    pub fn replicas(&self, b: BlockId) -> &[NodeId] {
+        self.namenode.replicas(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: usize, size: u32) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(SubDatasetId((i % 3) as u64), i as u64, size, i as u64))
+            .collect()
+    }
+
+    fn tiny_config(block_size: u64) -> DfsConfig {
+        DfsConfig {
+            block_size,
+            replication: 3,
+            topology: Topology::single_rack(8),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn blocks_fill_to_capacity() {
+        // 10 records of 100 B into 300 B blocks → 4 blocks (3+3+3+1).
+        let dfs = Dfs::write_random(tiny_config(300), records(10, 100));
+        assert_eq!(dfs.block_count(), 4);
+        assert_eq!(dfs.blocks()[0].len(), 3);
+        assert_eq!(dfs.blocks()[3].len(), 1);
+        assert_eq!(dfs.total_bytes(), 1000);
+    }
+
+    #[test]
+    fn oversized_record_gets_own_block() {
+        let recs = vec![
+            Record::new(SubDatasetId(0), 0, 50, 0),
+            Record::new(SubDatasetId(0), 1, 500, 1), // bigger than capacity
+            Record::new(SubDatasetId(0), 2, 50, 2),
+        ];
+        let dfs = Dfs::write_random(tiny_config(100), recs);
+        assert_eq!(dfs.block_count(), 3);
+        assert_eq!(dfs.blocks()[1].bytes(), 500);
+    }
+
+    #[test]
+    fn every_block_is_replicated_and_registered() {
+        let dfs = Dfs::write_random(tiny_config(250), records(40, 50));
+        assert_eq!(dfs.namenode().block_count(), dfs.block_count());
+        for b in dfs.blocks() {
+            let reps = dfs.replicas(b.id());
+            assert_eq!(reps.len(), 3);
+            for &n in reps {
+                assert!(dfs.namenode().is_local(b.id(), n));
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_total() {
+        let dfs = Dfs::write_random(tiny_config(300), records(30, 100));
+        let s = SubDatasetId(1);
+        let dist = dfs.subdataset_distribution(s);
+        assert_eq!(dist.len(), dfs.block_count());
+        assert_eq!(dist.iter().sum::<u64>(), dfs.subdataset_total(s));
+        // 10 of the 30 records belong to sub-dataset 1.
+        assert_eq!(dfs.subdataset_total(s), 1000);
+    }
+
+    #[test]
+    fn write_is_deterministic() {
+        let a = Dfs::write_random(tiny_config(300), records(30, 100));
+        let b = Dfs::write_random(tiny_config(300), records(30, 100));
+        assert_eq!(a.namenode(), b.namenode());
+    }
+
+    #[test]
+    fn chronological_order_preserved_within_and_across_blocks() {
+        let dfs = Dfs::write_random(tiny_config(300), records(30, 100));
+        let mut last = 0;
+        for b in dfs.blocks() {
+            for r in b.records() {
+                assert!(r.timestamp >= last);
+                last = r.timestamp;
+            }
+        }
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = DfsConfig::paper(128);
+        assert_eq!(c.block_size, 64 * 1024 * 1024);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.topology.len(), 128);
+        let s = DfsConfig::paper_scaled(32, 64);
+        assert_eq!(s.block_size, 1024 * 1024);
+    }
+
+    #[test]
+    fn empty_dataset_produces_no_blocks() {
+        let dfs = Dfs::write_random(tiny_config(100), Vec::new());
+        assert_eq!(dfs.block_count(), 0);
+        assert_eq!(dfs.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The NameNode: block-location metadata.
+//!
+//! Keeps exactly what HDFS keeps — which nodes hold each block's replicas —
+//! and deliberately nothing about sub-dataset content. Both the baseline
+//! locality scheduler and DataNet's bipartite graph are built from these
+//! mappings.
+
+use crate::ids::{BlockId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Block → replica-locations metadata plus the inverted node → blocks index.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NameNode {
+    /// `replicas[b]` = nodes holding block `b`. Dense by BlockId.
+    replicas: Vec<Vec<NodeId>>,
+    /// `local_blocks[n]` = blocks with a replica on node `n`. Dense by NodeId.
+    local_blocks: Vec<Vec<BlockId>>,
+}
+
+impl NameNode {
+    /// An empty NameNode for a cluster of `nodes` data nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            replicas: Vec::new(),
+            local_blocks: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Register block `b` with its replica locations. Blocks must be
+    /// registered in id order (the writer seals them in order).
+    ///
+    /// # Panics
+    /// Panics if the block id is out of order, locations are empty, or a
+    /// location refers to an unknown node.
+    pub fn register(&mut self, b: BlockId, locations: Vec<NodeId>) {
+        assert_eq!(
+            b.index(),
+            self.replicas.len(),
+            "blocks must be registered densely in order"
+        );
+        assert!(!locations.is_empty(), "a block needs at least one replica");
+        for &n in &locations {
+            assert!(
+                n.index() < self.local_blocks.len(),
+                "location {n} outside cluster of {} nodes",
+                self.local_blocks.len()
+            );
+            self.local_blocks[n.index()].push(b);
+        }
+        self.replicas.push(locations);
+    }
+
+    /// Number of registered blocks.
+    pub fn block_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of data nodes.
+    pub fn node_count(&self) -> usize {
+        self.local_blocks.len()
+    }
+
+    /// Replica locations of a block.
+    pub fn replicas(&self, b: BlockId) -> &[NodeId] {
+        &self.replicas[b.index()]
+    }
+
+    /// Blocks with a replica on node `n`.
+    pub fn blocks_on(&self, n: NodeId) -> &[BlockId] {
+        &self.local_blocks[n.index()]
+    }
+
+    /// Whether node `n` holds a replica of block `b`.
+    pub fn is_local(&self, b: BlockId, n: NodeId) -> bool {
+        self.replicas(b).contains(&n)
+    }
+
+    /// Iterate `(block, replicas)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &[NodeId])> {
+        self.replicas
+            .iter()
+            .enumerate()
+            .map(|(i, locs)| (BlockId(i as u32), locs.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NameNode {
+        let mut nn = NameNode::new(4);
+        nn.register(BlockId(0), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        nn.register(BlockId(1), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        nn.register(BlockId(2), vec![NodeId(0), NodeId(3)]);
+        nn
+    }
+
+    #[test]
+    fn forward_and_inverted_indexes_agree() {
+        let nn = sample();
+        assert_eq!(nn.block_count(), 3);
+        assert_eq!(nn.node_count(), 4);
+        for (b, locs) in nn.iter() {
+            for &n in locs {
+                assert!(nn.blocks_on(n).contains(&b));
+                assert!(nn.is_local(b, n));
+            }
+        }
+        assert_eq!(nn.blocks_on(NodeId(0)), &[BlockId(0), BlockId(2)]);
+        assert!(!nn.is_local(BlockId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn replica_counts() {
+        let nn = sample();
+        assert_eq!(nn.replicas(BlockId(0)).len(), 3);
+        assert_eq!(nn.replicas(BlockId(2)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_registration_panics() {
+        let mut nn = NameNode::new(2);
+        nn.register(BlockId(1), vec![NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_locations_panics() {
+        let mut nn = NameNode::new(2);
+        nn.register(BlockId(0), vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_node_panics() {
+        let mut nn = NameNode::new(2);
+        nn.register(BlockId(0), vec![NodeId(7)]);
+    }
+}

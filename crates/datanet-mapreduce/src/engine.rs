@@ -1,0 +1,746 @@
+//! The execution engine: selection phase, analysis phase, full pipeline.
+//!
+//! ### Selection (Section V-A: "we first launch map tasks to filter out our
+//! target sub-dataset and store them locally")
+//!
+//! Demand-driven: each node has one task slot; the node whose slot frees
+//! earliest asks the scheduler for its next block. A task scans a whole
+//! block (disk read + CPU scan; plus a NIC hop for non-local blocks) and
+//! appends the matching records to a local partition. The *actual* filtered
+//! bytes credited to a node come from the DFS ground truth — schedulers that
+//! plan with approximate ElasticMap weights therefore show exactly the
+//! residual imbalance the paper measures at low α (Figure 10).
+//!
+//! ### Analysis (map → shuffle → reduce over the filtered partitions)
+//!
+//! Each node runs one map task over its partition (disk + job CPU), then
+//! sends `1/R` of its map output to every other reducer over the simulated
+//! NICs (its own share stays local). A reducer's shuffle time spans from the
+//! *first* map completion to its last received byte — Hadoop's definition,
+//! and the reason imbalanced maps inflate shuffle times 4–5× in Figure 7.
+
+use crate::job::JobProfile;
+use crate::report::{ExecutionReport, JobReport, SelectionOutcome};
+use crate::scheduler::MapScheduler;
+use datanet::AggregationPlan;
+use datanet_cluster::{EventQueue, NodeSpec, SimCluster, SimTime};
+use datanet_dfs::{Dfs, NodeId, SubDatasetId};
+
+/// Fixed per-task cost (scheduling heartbeat, JVM reuse, commit) — Hadoop
+/// charges ~1 s per task; scaled here by the same 256× factor as the
+/// data volume (see DESIGN.md), giving 6 ms.
+const DEFAULT_TASK_OVERHEAD: SimTime = SimTime::from_millis(6);
+
+/// Parameters of the selection phase.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionConfig {
+    /// Node hardware.
+    pub spec: NodeSpec,
+    /// CPU work per scanned byte (multiple of the baseline scan rate).
+    pub scan_factor: f64,
+    /// Cost per *filtered* byte, as a multiple of the disk rate: matching
+    /// records are parsed, sorted and spilled to the local partition
+    /// (Hadoop's map-side sort/spill), so hot blocks cost real extra time.
+    pub filtered_cost_factor: f64,
+    /// Bandwidth for reads that must cross racks. Marmot hangs every node
+    /// off one switch, so the default equals the NIC rate; an oversubscribed
+    /// spine (e.g. 4:1) is modelled by setting this lower.
+    pub cross_rack_bps: u64,
+    /// Concurrent map slots per node. Marmot's nodes are dual-core, so the
+    /// Hadoop default of one slot per core gives 2; the per-slot disk and
+    /// CPU rates in [`NodeSpec`] are per-slot shares.
+    pub slots_per_node: u32,
+    /// Fixed per-map-task overhead (startup + commit).
+    pub task_overhead: SimTime,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self {
+            spec: NodeSpec::marmot(),
+            scan_factor: 1.0,
+            filtered_cost_factor: 1.0,
+            cross_rack_bps: NodeSpec::marmot().nic_bps,
+            slots_per_node: 1,
+            task_overhead: DEFAULT_TASK_OVERHEAD,
+        }
+    }
+}
+
+/// Parameters of the analysis phase.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisConfig {
+    /// Node hardware.
+    pub spec: NodeSpec,
+    /// Fixed per-task overhead applied to each map and reduce task.
+    pub task_overhead: SimTime,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            spec: NodeSpec::marmot(),
+            task_overhead: DEFAULT_TASK_OVERHEAD,
+        }
+    }
+}
+
+/// Run the selection phase.
+///
+/// * `truth` — ground-truth bytes of the target sub-dataset per block
+///   (`dfs.subdataset_distribution(s)`), credited to whichever node scans
+///   the block.
+/// * `scheduler` — decides block→node placement on demand.
+///
+/// # Panics
+/// Panics if `truth.len() != dfs.block_count()`.
+pub fn run_selection(
+    dfs: &Dfs,
+    truth: &[u64],
+    scheduler: &mut dyn MapScheduler,
+    cfg: &SelectionConfig,
+) -> SelectionOutcome {
+    assert_eq!(
+        truth.len(),
+        dfs.block_count(),
+        "ground-truth vector must cover every block"
+    );
+    cfg.spec.validate();
+    assert!(cfg.slots_per_node > 0, "need at least one slot per node");
+    let m = dfs.config().topology.len();
+    let mut per_node_bytes = vec![0u64; m];
+    let mut tasks_per_node = vec![0usize; m];
+    let mut per_node_end = vec![SimTime::ZERO; m];
+    let mut local_tasks = 0usize;
+    let mut total_tasks = 0usize;
+    let mut bytes_read = 0u64;
+
+    // Slot-free events: all slots free at t=0 (slots_per_node tokens per
+    // node). FIFO tie-break keeps node order deterministic.
+    let mut slots: EventQueue<NodeId> = EventQueue::new();
+    for _ in 0..cfg.slots_per_node {
+        for n in 0..m {
+            slots.push(SimTime::ZERO, NodeId(n as u32));
+        }
+    }
+    while let Some((now, node)) = slots.pop() {
+        let Some((block, local)) = scheduler.next_task(node) else {
+            if scheduler.remaining() > 0 {
+                // The scheduler deferred this node (e.g. delay scheduling
+                // waiting for a local slot): retry on the next heartbeat.
+                slots.push(now + cfg.task_overhead.max(SimTime::from_millis(1)), node);
+            } else {
+                // Nothing left anywhere: the node stops requesting.
+                per_node_end[node.index()] = per_node_end[node.index()].max(now);
+            }
+            continue;
+        };
+        let block_bytes = dfs.block(block).bytes();
+        // Disk read of the whole block; non-local reads also cross the
+        // network — at NIC speed when a replica lives on this rack, at the
+        // (possibly oversubscribed) cross-rack rate otherwise.
+        let mut dur = cfg.task_overhead + SimTime::for_bytes(block_bytes, cfg.spec.disk_bps);
+        if !local {
+            let topo = &dfs.config().topology;
+            let rack_local = dfs.replicas(block).iter().any(|&h| topo.same_rack(h, node));
+            let rate = if rack_local {
+                cfg.spec.nic_bps
+            } else {
+                cfg.cross_rack_bps
+            };
+            dur += SimTime::for_bytes(block_bytes, rate);
+        }
+        // Scan CPU over the whole block, then write the filtered records to
+        // the local partition.
+        let filtered = truth[block.index()];
+        dur += SimTime::for_bytes(
+            (block_bytes as f64 * cfg.scan_factor).ceil() as u64,
+            cfg.spec.cpu_bps,
+        );
+        dur += SimTime::for_bytes(
+            (filtered as f64 * cfg.filtered_cost_factor).ceil() as u64,
+            cfg.spec.disk_bps,
+        );
+
+        let end = now + dur;
+        per_node_bytes[node.index()] += filtered;
+        tasks_per_node[node.index()] += 1;
+        per_node_end[node.index()] = end;
+        bytes_read += block_bytes;
+        total_tasks += 1;
+        if local {
+            local_tasks += 1;
+        }
+        slots.push(end, node);
+    }
+    debug_assert_eq!(scheduler.remaining(), 0, "engine drained the scheduler");
+
+    let end = per_node_end.iter().copied().max().unwrap_or(SimTime::ZERO);
+    SelectionOutcome {
+        scheduler: scheduler.name().to_string(),
+        per_node_bytes,
+        tasks_per_node,
+        per_node_end,
+        end,
+        local_tasks,
+        total_tasks,
+        bytes_read,
+    }
+}
+
+/// Run one analysis job over per-node filtered partitions with the Hadoop
+/// default reducer layout: one reducer per node, uniform partition shares.
+///
+/// Every node with a non-empty partition runs one map task starting at t=0
+/// (the job is launched after selection completes).
+pub fn run_analysis(filtered: &[u64], profile: &JobProfile, cfg: &AnalysisConfig) -> JobReport {
+    let m = filtered.len();
+    assert!(m > 0, "need at least one partition");
+    let default_plan = AggregationPlan {
+        reducers: (0..m as u32).map(NodeId).collect(),
+        shares: vec![1.0 / m as f64; m],
+        est_traffic: 0,
+    };
+    run_analysis_aggregated(filtered, profile, cfg, &default_plan)
+}
+
+/// Run one analysis job with an explicit [`AggregationPlan`] (reducer
+/// placement + weighted partition shares) — the traffic-aware extension of
+/// Section IV-B.
+pub fn run_analysis_aggregated(
+    filtered: &[u64],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    plan: &AggregationPlan,
+) -> JobReport {
+    let m = filtered.len();
+    assert!(m > 0, "need at least one partition");
+    let cluster = SimCluster::homogeneous(m, cfg.spec);
+    run_analysis_on(filtered, profile, cfg, plan, cluster)
+}
+
+/// Run one analysis job on a **heterogeneous** cluster (one spec per node)
+/// with uniform reducers — the environment where Section IV-B's
+/// capability-proportional targets matter.
+pub fn run_analysis_hetero(
+    filtered: &[u64],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    specs: &[NodeSpec],
+) -> JobReport {
+    let m = filtered.len();
+    assert_eq!(m, specs.len(), "one spec per partition/node");
+    let plan = AggregationPlan {
+        reducers: (0..m as u32).map(NodeId).collect(),
+        shares: vec![1.0 / m as f64; m],
+        est_traffic: 0,
+    };
+    let cluster = SimCluster::heterogeneous(specs);
+    run_analysis_on(filtered, profile, cfg, &plan, cluster)
+}
+
+/// Effective map throughput of a node for a given job, in bytes/second:
+/// the harmonic combination of its disk rate and its job-adjusted CPU rate
+/// (a map task reads then computes, so per-byte costs add). This is the
+/// "computing capability" to feed Section IV-B's proportional targets
+/// (`Algorithm1::with_capabilities`).
+pub fn capability_of(spec: &NodeSpec, profile: &JobProfile) -> f64 {
+    spec.validate();
+    profile.validate();
+    let per_byte = 1.0 / spec.disk_bps as f64 + profile.map_compute_factor / spec.cpu_bps as f64;
+    1.0 / per_byte
+}
+
+/// Core analysis phase over an arbitrary prepared cluster.
+fn run_analysis_on(
+    filtered: &[u64],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    plan: &AggregationPlan,
+    mut cluster: SimCluster,
+) -> JobReport {
+    profile.validate();
+    plan.validate();
+    let m = filtered.len();
+    assert!(m > 0, "need at least one partition");
+    assert_eq!(cluster.len(), m, "cluster size must match partitions");
+    assert!(
+        plan.reducers.iter().all(|r| r.index() < m),
+        "reducer outside the cluster"
+    );
+
+    // --- Map phase: read partition + job CPU. One map task per node.
+    let mut map_end = vec![SimTime::ZERO; m];
+    let mut map_secs = Vec::with_capacity(m);
+    for (i, &bytes) in filtered.iter().enumerate() {
+        let (_, read_end) = cluster.node_mut(i).read_disk(cfg.task_overhead, bytes);
+        let (_, cpu_end) = cluster
+            .node_mut(i)
+            .compute(read_end, bytes, profile.map_compute_factor);
+        map_end[i] = cpu_end;
+        map_secs.push(cpu_end.as_secs_f64());
+    }
+    let first_map_end = map_end.iter().copied().min().unwrap_or(SimTime::ZERO);
+
+    // --- Shuffle: mapper i sends `share_r · out_i` to each reducer r when
+    // its map finishes; a reducer's own share stays local. Reducer r's
+    // shuffle spans first_map_end → its last arrival.
+    let r_count = plan.reducers.len();
+    let mut last_arrival = vec![first_map_end; r_count];
+    let mut shuffle_bytes = 0u64;
+    for i in 0..m {
+        let out = profile.map_output_bytes(filtered[i]);
+        if out == 0 {
+            continue;
+        }
+        for (ri, (&rnode, &share)) in plan.reducers.iter().zip(&plan.shares).enumerate() {
+            let bytes = (out as f64 * share) as u64;
+            if bytes == 0 {
+                continue;
+            }
+            if rnode.index() == i {
+                // Local share: available as soon as the map finishes.
+                last_arrival[ri] = last_arrival[ri].max(map_end[i]);
+            } else {
+                let (_, arr) = cluster.transfer(i, rnode.index(), map_end[i], bytes);
+                shuffle_bytes += bytes;
+                last_arrival[ri] = last_arrival[ri].max(arr);
+            }
+        }
+    }
+    let shuffle_secs: Vec<f64> = last_arrival
+        .iter()
+        .map(|&t| t.saturating_sub(first_map_end).as_secs_f64())
+        .collect();
+
+    // --- Reduce: reducer r processes its share of the total map output.
+    let total_out: u64 = filtered.iter().map(|&b| profile.map_output_bytes(b)).sum();
+    let mut reduce_secs = Vec::with_capacity(r_count);
+    let mut makespan = map_end.iter().copied().max().unwrap_or(SimTime::ZERO);
+    for (ri, (&rnode, &share)) in plan.reducers.iter().zip(&plan.shares).enumerate() {
+        let reduce_share = (total_out as f64 * share) as u64;
+        let ready = last_arrival[ri];
+        let end = if reduce_share == 0 || profile.reduce_compute_factor == 0.0 {
+            ready
+        } else {
+            let ready = ready + cfg.task_overhead;
+            let (_, cpu_end) = cluster.node_mut(rnode.index()).compute(
+                ready,
+                reduce_share,
+                profile.reduce_compute_factor,
+            );
+            // Write the reduce output file.
+            let (_, w_end) = cluster
+                .node_mut(rnode.index())
+                .write_disk(cpu_end, reduce_share);
+            w_end
+        };
+        reduce_secs.push((end.saturating_sub(ready)).as_secs_f64());
+        makespan = makespan.max(end);
+    }
+
+    let cpu_util = (0..m)
+        .map(|i| cluster.node(i).cpu().utilisation(makespan))
+        .collect();
+    JobReport {
+        job: profile.name.clone(),
+        map_secs,
+        shuffle_secs,
+        reduce_secs,
+        makespan_secs: makespan.as_secs_f64(),
+        shuffle_bytes,
+        cpu_util,
+    }
+}
+
+/// Full pipeline: selection of `subdataset` under `scheduler`, then `job`
+/// over the filtered partitions.
+pub fn run_pipeline(
+    dfs: &Dfs,
+    subdataset: SubDatasetId,
+    scheduler: &mut dyn MapScheduler,
+    job: &JobProfile,
+    sel_cfg: &SelectionConfig,
+    ana_cfg: &AnalysisConfig,
+) -> ExecutionReport {
+    let truth = dfs.subdataset_distribution(subdataset);
+    let selection = run_selection(dfs, &truth, scheduler, sel_cfg);
+    let job = run_analysis(&selection.per_node_bytes, job, ana_cfg);
+    ExecutionReport { selection, job }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{DataNetScheduler, LocalityScheduler};
+    use datanet::{ElasticMapArray, Separation};
+    use datanet_dfs::{DfsConfig, Record, Topology};
+
+    /// Clustered dataset in the paper's regime: the per-block share of
+    /// sub-dataset 0 follows a skewed Gamma law (Section II-B's model), so
+    /// block weights are lumpy but no single block exceeds the per-node
+    /// target.
+    fn clustered_dfs(nodes: u32) -> Dfs {
+        use datanet_stats::GammaDist;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let blocks = 160usize;
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = GammaDist::new(0.5, 1.0);
+        let shares: Vec<u64> = (0..blocks)
+            .map(|_| (g.sample(&mut rng) * 25.0).min(90.0) as u64)
+            .collect();
+        let mut recs = Vec::new();
+        for i in 0..(blocks as u64 * 100) {
+            let block = (i / 100) as usize;
+            let within = i % 100;
+            let s = if within < shares[block] {
+                0
+            } else {
+                1 + i % 25
+            };
+            recs.push(Record::new(SubDatasetId(s), i, 1000, i));
+        }
+        Dfs::write_random(
+            DfsConfig {
+                block_size: 100_000,
+                replication: 3,
+                topology: Topology::single_rack(nodes),
+                seed: 1234,
+            },
+            recs,
+        )
+    }
+
+    fn test_job() -> JobProfile {
+        JobProfile::new("test", 3.0, 0.4, 1.0)
+    }
+
+    #[test]
+    fn selection_credits_all_subdataset_bytes() {
+        let dfs = clustered_dfs(8);
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let mut sched = LocalityScheduler::new(&dfs);
+        let out = run_selection(&dfs, &truth, &mut sched, &SelectionConfig::default());
+        assert_eq!(
+            out.per_node_bytes.iter().sum::<u64>(),
+            dfs.subdataset_total(s)
+        );
+        assert_eq!(out.total_tasks, dfs.block_count());
+        assert_eq!(out.bytes_read, dfs.total_bytes());
+        assert!(out.end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn locality_scheduler_is_mostly_local_but_imbalanced() {
+        let dfs = clustered_dfs(8);
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let mut sched = LocalityScheduler::new(&dfs);
+        let out = run_selection(&dfs, &truth, &mut sched, &SelectionConfig::default());
+        assert!(
+            out.locality_fraction() > 0.8,
+            "got {}",
+            out.locality_fraction()
+        );
+        assert!(
+            out.imbalance() > 1.2,
+            "clustered data should imbalance the blind scheduler, got {}",
+            out.imbalance()
+        );
+    }
+
+    #[test]
+    fn datanet_scheduler_balances_and_reads_less() {
+        let dfs = clustered_dfs(8);
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let view = ElasticMapArray::build(&dfs, &Separation::All).view(s);
+
+        let mut base = LocalityScheduler::new(&dfs);
+        let without = run_selection(&dfs, &truth, &mut base, &SelectionConfig::default());
+        let mut dn = DataNetScheduler::new(&dfs, &view);
+        let with = run_selection(&dfs, &truth, &mut dn, &SelectionConfig::default());
+
+        assert!(
+            with.imbalance() < without.imbalance(),
+            "datanet {} vs locality {}",
+            with.imbalance(),
+            without.imbalance()
+        );
+        assert!(
+            with.bytes_read <= without.bytes_read,
+            "block skipping must not read more"
+        );
+        assert_eq!(
+            with.per_node_bytes.iter().sum::<u64>(),
+            without.per_node_bytes.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn analysis_makespan_tracks_slowest_map() {
+        let balanced = vec![1_000_000u64; 8];
+        let mut skewed = vec![500_000u64; 8];
+        skewed[0] = 4_500_000; // same total, one straggler
+        let cfg = AnalysisConfig::default();
+        let jb = run_analysis(&balanced, &test_job(), &cfg);
+        let js = run_analysis(&skewed, &test_job(), &cfg);
+        assert!(
+            js.makespan_secs > jb.makespan_secs,
+            "skewed {} vs balanced {}",
+            js.makespan_secs,
+            jb.makespan_secs
+        );
+        // Map spread mirrors the partition spread.
+        assert!(js.map_summary().max() / js.map_summary().min() > 5.0);
+        assert!(jb.map_summary().max() / jb.map_summary().min() < 1.05);
+        // Under skew, the idle nodes' CPU utilisation craters while the
+        // straggler's stays high.
+        assert!(js.util_summary().min() < 0.3 * js.util_summary().max());
+        assert!(jb.util_summary().min() > 0.7 * jb.util_summary().max());
+    }
+
+    #[test]
+    fn imbalance_inflates_shuffle_times() {
+        // Figure 7's mechanism: reducers wait for the straggler map.
+        let balanced = vec![1_000_000u64; 8];
+        let mut skewed = vec![500_000u64; 8];
+        skewed[0] = 4_500_000;
+        let cfg = AnalysisConfig::default();
+        let jb = run_analysis(&balanced, &test_job(), &cfg);
+        let js = run_analysis(&skewed, &test_job(), &cfg);
+        assert!(
+            js.shuffle_summary().max() > 2.0 * jb.shuffle_summary().max(),
+            "skewed shuffle {} vs balanced {}",
+            js.shuffle_summary().max(),
+            jb.shuffle_summary().max()
+        );
+    }
+
+    #[test]
+    fn zero_output_job_skips_shuffle_and_reduce() {
+        let parts = vec![1_000_000u64; 4];
+        let job = JobProfile::new("scanonly", 1.0, 0.0, 0.0);
+        let r = run_analysis(&parts, &job, &AnalysisConfig::default());
+        assert!(r.shuffle_secs.iter().all(|&s| s == 0.0));
+        assert!(r.reduce_secs.iter().all(|&s| s == 0.0));
+        assert!(r.makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn pipeline_composes_selection_and_job() {
+        let dfs = clustered_dfs(4);
+        let s = SubDatasetId(0);
+        let mut sched = LocalityScheduler::new(&dfs);
+        let rep = run_pipeline(
+            &dfs,
+            s,
+            &mut sched,
+            &test_job(),
+            &SelectionConfig::default(),
+            &AnalysisConfig::default(),
+        );
+        assert!(rep.total_secs() > rep.job.makespan_secs);
+        assert_eq!(
+            rep.selection.per_node_bytes.iter().sum::<u64>(),
+            dfs.subdataset_total(s)
+        );
+    }
+
+    #[test]
+    fn deterministic_pipeline() {
+        let dfs = clustered_dfs(4);
+        let s = SubDatasetId(0);
+        let run = || {
+            let mut sched = LocalityScheduler::new(&dfs);
+            run_pipeline(
+                &dfs,
+                s,
+                &mut sched,
+                &test_job(),
+                &SelectionConfig::default(),
+                &AnalysisConfig::default(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn capability_aware_partitions_beat_uniform_on_hetero_cluster() {
+        // 4 fast nodes (2x CPU) + 4 slow. Equal partitions leave the slow
+        // nodes straggling; capability-proportional partitions equalise
+        // completion.
+        let fast = NodeSpec {
+            cpu_bps: 400_000_000,
+            ..NodeSpec::marmot()
+        };
+        let slow = NodeSpec {
+            cpu_bps: 200_000_000,
+            ..NodeSpec::marmot()
+        };
+        let specs: Vec<NodeSpec> = (0..8).map(|i| if i < 4 { fast } else { slow }).collect();
+        let total = 8_000_000u64;
+        let uniform = vec![total / 8; 8];
+        let job = test_job();
+        // Proportional to effective map throughput (disk + job CPU).
+        let cap_fast = capability_of(&fast, &job);
+        let cap_slow = capability_of(&slow, &job);
+        let cap_sum = 4.0 * (cap_fast + cap_slow);
+        let proportional: Vec<u64> = (0..8)
+            .map(|i| {
+                let c = if i < 4 { cap_fast } else { cap_slow };
+                (total as f64 * c / cap_sum) as u64
+            })
+            .collect();
+        let cfg = AnalysisConfig::default();
+        let ju = run_analysis_hetero(&uniform, &job, &cfg, &specs);
+        let jp = run_analysis_hetero(&proportional, &job, &cfg, &specs);
+        assert!(
+            jp.makespan_secs < ju.makespan_secs,
+            "proportional {} !< uniform {}",
+            jp.makespan_secs,
+            ju.makespan_secs
+        );
+        // Uniform partitions: fast maps finish ~2x sooner than slow.
+        let u_ratio = ju.map_summary().max() / ju.map_summary().min();
+        let p_ratio = jp.map_summary().max() / jp.map_summary().min();
+        assert!(u_ratio > 1.2, "got {u_ratio}");
+        assert!(p_ratio < u_ratio, "{p_ratio} !< {u_ratio}");
+    }
+
+    #[test]
+    fn aggregation_plan_reduces_shuffle_bytes() {
+        // Concentrated map output: placing reducers on the data-rich nodes
+        // with skewed shares must cut network traffic without changing
+        // results semantics.
+        let mut filtered = vec![50_000u64; 8];
+        filtered[2] = 2_000_000;
+        filtered[5] = 1_500_000;
+        let job = test_job();
+        let cfg = AnalysisConfig::default();
+        let default_run = run_analysis(&filtered, &job, &cfg);
+        let plan = datanet::plan_aggregation(
+            &filtered
+                .iter()
+                .map(|&b| job.map_output_bytes(b))
+                .collect::<Vec<_>>(),
+            2,
+            2.0,
+        );
+        let planned_run = run_analysis_aggregated(&filtered, &job, &cfg, &plan);
+        assert!(
+            planned_run.shuffle_bytes < default_run.shuffle_bytes,
+            "planned {} !< default {}",
+            planned_run.shuffle_bytes,
+            default_run.shuffle_bytes
+        );
+        assert_eq!(planned_run.shuffle_secs.len(), 2);
+        assert_eq!(planned_run.reduce_secs.len(), 2);
+    }
+
+    #[test]
+    fn default_analysis_matches_uniform_plan() {
+        let filtered = vec![100_000u64, 300_000, 50_000, 250_000];
+        let job = test_job();
+        let cfg = AnalysisConfig::default();
+        let a = run_analysis(&filtered, &job, &cfg);
+        let plan = datanet::AggregationPlan {
+            reducers: (0..4).map(datanet_dfs::NodeId).collect(),
+            shares: vec![0.25; 4],
+            est_traffic: 0,
+        };
+        let b = run_analysis_aggregated(&filtered, &job, &cfg, &plan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn aggregation_reducer_outside_cluster_panics() {
+        let plan = datanet::AggregationPlan {
+            reducers: vec![datanet_dfs::NodeId(9)],
+            shares: vec![1.0],
+            est_traffic: 0,
+        };
+        run_analysis_aggregated(
+            &[1_000, 1_000],
+            &test_job(),
+            &AnalysisConfig::default(),
+            &plan,
+        );
+    }
+
+    #[test]
+    fn two_slots_roughly_halve_the_selection_phase() {
+        let dfs = clustered_dfs(8);
+        let truth = dfs.subdataset_distribution(SubDatasetId(0));
+        let run = |slots: u32| {
+            let mut sched = LocalityScheduler::new(&dfs);
+            let cfg = SelectionConfig {
+                slots_per_node: slots,
+                ..Default::default()
+            };
+            run_selection(&dfs, &truth, &mut sched, &cfg)
+        };
+        let one = run(1);
+        let two = run(2);
+        // Same data is filtered either way.
+        assert_eq!(
+            one.per_node_bytes.iter().sum::<u64>(),
+            two.per_node_bytes.iter().sum::<u64>()
+        );
+        let ratio = two.end.as_secs_f64() / one.end.as_secs_f64();
+        assert!(
+            (0.4..0.75).contains(&ratio),
+            "2 slots should roughly halve the phase, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn cross_rack_penalty_slows_remote_heavy_schedules() {
+        // Two racks, rack-aware placement, an oversubscribed spine: a
+        // schedule with remote reads pays more when the spine is 8x slower.
+        use datanet_dfs::RackAwarePlacement;
+        let recs = (0..4000u64).map(|i| Record::new(SubDatasetId(i % 9), i, 500, i));
+        let dfs = Dfs::write_dataset(
+            DfsConfig {
+                block_size: 50_000,
+                replication: 2,
+                topology: Topology::new(8, 4),
+                seed: 77,
+            },
+            recs,
+            &RackAwarePlacement,
+        );
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let view = datanet::ElasticMapArray::build(&dfs, &datanet::Separation::All).view(s);
+        let run = |cross_rack_bps: u64| {
+            let mut sched = DataNetScheduler::new(&dfs, &view);
+            let cfg = SelectionConfig {
+                cross_rack_bps,
+                ..Default::default()
+            };
+            run_selection(&dfs, &truth, &mut sched, &cfg)
+        };
+        let flat = run(NodeSpec::marmot().nic_bps);
+        let oversubscribed = run(NodeSpec::marmot().nic_bps / 8);
+        assert!(
+            flat.locality_fraction() < 1.0,
+            "test needs at least one remote read to be meaningful"
+        );
+        assert!(
+            oversubscribed.end >= flat.end,
+            "slower spine cannot make the phase faster"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn truth_length_mismatch_panics() {
+        let dfs = clustered_dfs(4);
+        let mut sched = LocalityScheduler::new(&dfs);
+        run_selection(&dfs, &[1, 2, 3], &mut sched, &SelectionConfig::default());
+    }
+}

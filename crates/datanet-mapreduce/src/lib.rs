@@ -1,0 +1,44 @@
+//! A MapReduce execution engine over the simulated cluster — the framework
+//! substrate the paper's experiments run on.
+//!
+//! The paper's experimental pipeline (Section V-A) is reproduced end to end:
+//!
+//! 1. **Selection** ([`engine::run_selection`]): map tasks scan every
+//!    in-scope block, filter the target sub-dataset and store it locally.
+//!    Which node scans which block is decided by a pluggable
+//!    [`scheduler::MapScheduler`]:
+//!    [`scheduler::LocalityScheduler`] (Hadoop's block-locality default,
+//!    the paper's "without DataNet"),
+//!    [`scheduler::DataNetScheduler`] (Algorithm 1, "with DataNet"),
+//!    [`scheduler::PlannedScheduler`] (any precomputed assignment, e.g.
+//!    Ford–Fulkerson).
+//! 2. **Analysis** ([`engine::run_analysis`]): a MapReduce job
+//!    ([`job::JobProfile`]) runs over the filtered per-node partitions —
+//!    map (disk + job-specific CPU), shuffle (all-to-all transfers over the
+//!    simulated NICs), reduce. The report records per-node map times,
+//!    per-reducer shuffle times and the makespan — Figures 5, 6 and 7.
+//! 3. **SkewTune-like baseline** ([`skewtune`]): the runtime-migration
+//!    alternative the paper discusses (Section V-A-4) — rebalance the
+//!    filtered partitions after selection and account the network cost.
+
+pub mod engine;
+pub mod job;
+pub mod report;
+pub mod scheduler;
+pub mod skewtune;
+pub mod speculation;
+
+pub use engine::{
+    capability_of, run_analysis, run_analysis_aggregated, run_analysis_hetero, run_pipeline,
+    run_selection, AnalysisConfig, SelectionConfig,
+};
+pub use job::JobProfile;
+pub use report::{ExecutionReport, JobReport, SelectionOutcome};
+pub use scheduler::{
+    DataNetScheduler, DelayScheduler, LocalityScheduler, MapScheduler, PlannedScheduler,
+};
+pub use skewtune::{rebalance, MigrationOutcome};
+pub use speculation::{
+    speculative_map_phase, speculative_map_phase_with_slowdowns, SpeculationConfig,
+    SpeculativeMapOutcome,
+};

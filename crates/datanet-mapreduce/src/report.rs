@@ -1,0 +1,195 @@
+//! Execution reports: everything the paper's figures read off a run.
+
+use datanet_cluster::SimTime;
+use datanet_stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Result of the selection (filter) phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionOutcome {
+    /// Scheduler that drove the phase.
+    pub scheduler: String,
+    /// Ground-truth bytes of the target sub-dataset filtered onto each node
+    /// — the Figure 1(b)/5(c) series.
+    pub per_node_bytes: Vec<u64>,
+    /// Map-task count per node.
+    pub tasks_per_node: Vec<usize>,
+    /// When each node finished its selection tasks.
+    pub per_node_end: Vec<SimTime>,
+    /// Phase completion (max of per-node ends).
+    pub end: SimTime,
+    /// Data-local task assignments.
+    pub local_tasks: usize,
+    /// Total tasks issued.
+    pub total_tasks: usize,
+    /// Total bytes read from disk (DataNet's block skipping shows up here).
+    pub bytes_read: u64,
+}
+
+impl SelectionOutcome {
+    /// Fraction of tasks that read a local replica.
+    pub fn locality_fraction(&self) -> f64 {
+        if self.total_tasks == 0 {
+            return 1.0;
+        }
+        self.local_tasks as f64 / self.total_tasks as f64
+    }
+
+    /// Summary of per-node filtered workload.
+    pub fn workload_summary(&self) -> Summary {
+        Summary::of(
+            &self
+                .per_node_bytes
+                .iter()
+                .map(|&b| b as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Max-over-mean workload imbalance.
+    pub fn imbalance(&self) -> f64 {
+        let s = self.workload_summary();
+        if s.mean() == 0.0 {
+            return 1.0;
+        }
+        s.max() / s.mean()
+    }
+
+    /// Gini coefficient of the per-node workload (0 = perfectly equal).
+    pub fn gini(&self) -> f64 {
+        datanet_stats::gini(
+            &self
+                .per_node_bytes
+                .iter()
+                .map(|&b| b as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Result of running one analysis job over the filtered partitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Job name.
+    pub job: String,
+    /// Per-node map-task durations, seconds — Figure 6(a).
+    pub map_secs: Vec<f64>,
+    /// Per-reducer shuffle durations, seconds (first-map-finish → last byte
+    /// received) — Figure 7.
+    pub shuffle_secs: Vec<f64>,
+    /// Per-reducer reduce durations, seconds.
+    pub reduce_secs: Vec<f64>,
+    /// End-to-end job time, seconds — the Figure 5(a) bar.
+    pub makespan_secs: f64,
+    /// Intermediate bytes that crossed the network during the shuffle.
+    pub shuffle_bytes: u64,
+    /// Per-node CPU utilisation over the job (busy time / makespan) — the
+    /// paper's "nodes with less workload will be idle for a long time"
+    /// made visible.
+    pub cpu_util: Vec<f64>,
+}
+
+impl JobReport {
+    /// min/avg/max of map times — Figure 6(b)(c).
+    pub fn map_summary(&self) -> Summary {
+        Summary::of(&self.map_secs)
+    }
+
+    /// min/avg/max of shuffle times — Figure 7.
+    pub fn shuffle_summary(&self) -> Summary {
+        Summary::of(&self.shuffle_secs)
+    }
+
+    /// min/avg/max of reduce times.
+    pub fn reduce_summary(&self) -> Summary {
+        Summary::of(&self.reduce_secs)
+    }
+
+    /// min/avg/max of per-node CPU utilisation.
+    pub fn util_summary(&self) -> Summary {
+        Summary::of(&self.cpu_util)
+    }
+}
+
+/// A full pipeline run: selection followed by one analysis job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// The selection phase.
+    pub selection: SelectionOutcome,
+    /// The analysis job.
+    pub job: JobReport,
+}
+
+impl ExecutionReport {
+    /// Total pipeline seconds (selection + analysis).
+    pub fn total_secs(&self) -> f64 {
+        self.selection.end.as_secs_f64() + self.job.makespan_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> SelectionOutcome {
+        SelectionOutcome {
+            scheduler: "test".into(),
+            per_node_bytes: vec![100, 300],
+            tasks_per_node: vec![2, 2],
+            per_node_end: vec![SimTime::from_secs(1), SimTime::from_secs(2)],
+            end: SimTime::from_secs(2),
+            local_tasks: 3,
+            total_tasks: 4,
+            bytes_read: 1000,
+        }
+    }
+
+    #[test]
+    fn selection_metrics() {
+        let o = outcome();
+        assert!((o.locality_fraction() - 0.75).abs() < 1e-12);
+        assert!((o.imbalance() - 1.5).abs() < 1e-12);
+        // [100, 300]: G = 0.25.
+        assert!((o.gini() - 0.25).abs() < 1e-12);
+        let s = o.workload_summary();
+        assert_eq!(s.min(), 100.0);
+        assert_eq!(s.max(), 300.0);
+    }
+
+    #[test]
+    fn job_summaries() {
+        let j = JobReport {
+            job: "wc".into(),
+            map_secs: vec![1.0, 3.0],
+            shuffle_secs: vec![0.5, 1.5],
+            reduce_secs: vec![0.2, 0.2],
+            makespan_secs: 5.0,
+            shuffle_bytes: 123,
+            cpu_util: vec![0.5, 0.9],
+        };
+        assert_eq!(j.map_summary().max(), 3.0);
+        assert_eq!(j.shuffle_summary().mean(), 1.0);
+        assert!((j.util_summary().mean() - 0.7).abs() < 1e-12);
+        let r = ExecutionReport {
+            selection: outcome(),
+            job: j,
+        };
+        assert!((r.total_secs() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_selection_is_balanced() {
+        let o = SelectionOutcome {
+            scheduler: "x".into(),
+            per_node_bytes: vec![0, 0],
+            tasks_per_node: vec![0, 0],
+            per_node_end: vec![SimTime::ZERO, SimTime::ZERO],
+            end: SimTime::ZERO,
+            local_tasks: 0,
+            total_tasks: 0,
+            bytes_read: 0,
+        };
+        assert_eq!(o.locality_fraction(), 1.0);
+        assert_eq!(o.imbalance(), 1.0);
+    }
+}

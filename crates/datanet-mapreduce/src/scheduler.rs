@@ -1,0 +1,394 @@
+//! Pluggable map-task schedulers.
+//!
+//! The engine drives a demand-driven ("pull") protocol exactly like Hadoop's
+//! TaskTracker heartbeats: when a node's task slot frees up, the scheduler
+//! is asked for that node's next block.
+
+use datanet::planner::{Algorithm1, Assignment, BalancePolicy};
+use datanet::SubDatasetView;
+use datanet_dfs::{BlockId, Dfs, NameNode, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Demand-driven map-task source.
+pub trait MapScheduler {
+    /// Serve a task request from `node`. Returns the block and whether it
+    /// is node-local, or `None` when this scheduler has nothing (left) for
+    /// that node.
+    fn next_task(&mut self, node: NodeId) -> Option<(BlockId, bool)>;
+
+    /// Number of blocks not yet handed out.
+    fn remaining(&self) -> usize;
+
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Hadoop's default block-locality scheduling (the paper's "without
+/// DataNet"): serve a node-local unassigned block when one exists, else an
+/// arbitrary unassigned block (a remote read). Entirely oblivious to
+/// sub-dataset content. Local picks are in an arbitrary (seeded, per-node
+/// shuffled) order, matching Hadoop's hash-ordered split lists — a
+/// lowest-id rule would accidentally stripe a contiguous hot region evenly
+/// across nodes and hide the very imbalance the paper measures.
+#[derive(Debug, Clone)]
+pub struct LocalityScheduler {
+    /// Unassigned blocks (ordered for determinism).
+    pub(crate) remaining: BTreeSet<BlockId>,
+    /// `local[n]` = blocks with a replica on node `n`, in serving order.
+    pub(crate) local: Vec<Vec<BlockId>>,
+}
+
+impl LocalityScheduler {
+    /// Schedule all blocks of the DFS (the baseline cannot skip any block:
+    /// it has no idea which ones contain the target sub-dataset).
+    pub fn new(dfs: &Dfs) -> Self {
+        Self::with_scope(dfs.namenode(), (0..dfs.block_count() as u32).map(BlockId))
+    }
+
+    /// Schedule an explicit scope of blocks.
+    pub fn with_scope(namenode: &NameNode, scope: impl IntoIterator<Item = BlockId>) -> Self {
+        let remaining: BTreeSet<BlockId> = scope.into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(0x10CA_1125_u64 ^ remaining.len() as u64);
+        let local = (0..namenode.node_count())
+            .map(|n| {
+                let mut blocks: Vec<BlockId> = namenode
+                    .blocks_on(NodeId(n as u32))
+                    .iter()
+                    .copied()
+                    .filter(|b| remaining.contains(b))
+                    .collect();
+                blocks.shuffle(&mut rng);
+                blocks
+            })
+            .collect();
+        Self { remaining, local }
+    }
+}
+
+impl MapScheduler for LocalityScheduler {
+    fn next_task(&mut self, node: NodeId) -> Option<(BlockId, bool)> {
+        // Local preference: next unassigned block in the node's (shuffled)
+        // local list.
+        let local_pick = self.local[node.index()]
+            .iter()
+            .copied()
+            .find(|b| self.remaining.contains(b));
+        if let Some(b) = local_pick {
+            self.remaining.remove(&b);
+            return Some((b, true));
+        }
+        // Fall back to any unassigned block (remote read).
+        let b = *self.remaining.iter().next()?;
+        self.remaining.remove(&b);
+        Some((b, false))
+    }
+
+    fn remaining(&self) -> usize {
+        self.remaining.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+}
+
+/// The DataNet scheduler: Algorithm 1 driven live by worker pulls
+/// (the paper's "with DataNet"). Scope is the sub-dataset's view, so blocks
+/// without target data are skipped entirely.
+#[derive(Debug, Clone)]
+pub struct DataNetScheduler {
+    alg: Algorithm1,
+}
+
+impl DataNetScheduler {
+    /// Build from the DFS and an ElasticMap view of the target sub-dataset
+    /// with the default (paced) balance policy.
+    pub fn new(dfs: &Dfs, view: &SubDatasetView) -> Self {
+        Self {
+            alg: Algorithm1::new(dfs, view),
+        }
+    }
+
+    /// Build with an explicit balance policy (for ablations).
+    pub fn with_policy(dfs: &Dfs, view: &SubDatasetView, policy: BalancePolicy) -> Self {
+        Self {
+            alg: Algorithm1::with_policy(dfs.namenode(), view, policy),
+        }
+    }
+}
+
+impl MapScheduler for DataNetScheduler {
+    fn next_task(&mut self, node: NodeId) -> Option<(BlockId, bool)> {
+        self.alg.next_task_for(node)
+    }
+
+    fn remaining(&self) -> usize {
+        self.alg.remaining()
+    }
+
+    fn name(&self) -> &'static str {
+        "datanet"
+    }
+}
+
+/// Serves a precomputed [`Assignment`] (e.g. from the Ford–Fulkerson
+/// planner): each node draws from its own planned queue.
+#[derive(Debug, Clone)]
+pub struct PlannedScheduler {
+    /// Per-node planned blocks, consumed front to back.
+    queues: Vec<std::collections::VecDeque<BlockId>>,
+    /// Whether each planned block was local in the plan.
+    locality: Vec<Vec<bool>>,
+    remaining: usize,
+}
+
+impl PlannedScheduler {
+    /// Wrap an assignment. `namenode` is used to recompute locality flags.
+    pub fn new(assignment: &Assignment, namenode: &NameNode) -> Self {
+        let mut queues = Vec::with_capacity(assignment.node_count());
+        let mut locality = Vec::with_capacity(assignment.node_count());
+        let mut remaining = 0;
+        for n in 0..assignment.node_count() {
+            let blocks = assignment.tasks_of(NodeId(n as u32));
+            remaining += blocks.len();
+            queues.push(blocks.iter().copied().collect());
+            locality.push(
+                blocks
+                    .iter()
+                    .map(|&b| namenode.is_local(b, NodeId(n as u32)))
+                    .collect(),
+            );
+        }
+        Self {
+            queues,
+            locality,
+            remaining,
+        }
+    }
+}
+
+impl MapScheduler for PlannedScheduler {
+    fn next_task(&mut self, node: NodeId) -> Option<(BlockId, bool)> {
+        let q = &mut self.queues[node.index()];
+        let b = q.pop_front()?;
+        let l = &mut self.locality[node.index()];
+        let local = l.remove(0);
+        self.remaining -= 1;
+        Some((b, local))
+    }
+
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    fn name(&self) -> &'static str {
+        "planned"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datanet::{ElasticMapArray, Separation};
+    use datanet_dfs::{DfsConfig, Record, SubDatasetId, Topology};
+
+    fn dfs() -> Dfs {
+        let recs = (0..1000u64).map(|i| {
+            let s = if i < 300 { 0 } else { 1 + i % 10 };
+            Record::new(SubDatasetId(s), i, 100, i)
+        });
+        Dfs::write_random(
+            DfsConfig {
+                block_size: 5_000,
+                replication: 3,
+                topology: Topology::single_rack(4),
+                seed: 3,
+            },
+            recs,
+        )
+    }
+
+    #[test]
+    fn locality_hands_out_every_block_once() {
+        let d = dfs();
+        let mut s = LocalityScheduler::new(&d);
+        assert_eq!(s.remaining(), d.block_count());
+        let mut seen = std::collections::HashSet::new();
+        let mut node = 0u32;
+        while let Some((b, _)) = s.next_task(NodeId(node % 4)) {
+            assert!(seen.insert(b), "block {b} issued twice");
+            node += 1;
+        }
+        assert_eq!(seen.len(), d.block_count());
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn locality_prefers_local_blocks() {
+        let d = dfs();
+        let mut s = LocalityScheduler::new(&d);
+        // First request from node 0 must be a local block if node 0 holds
+        // any replicas (with 3/4 replication it certainly does).
+        let (b, local) = s.next_task(NodeId(0)).unwrap();
+        assert!(local);
+        assert!(d.namenode().is_local(b, NodeId(0)));
+    }
+
+    #[test]
+    fn locality_falls_back_to_remote() {
+        // Single node holds nothing: 1-node topology means it holds all,
+        // so craft a 2-node namenode where node 1 holds nothing.
+        let mut nn = NameNode::new(2);
+        nn.register(BlockId(0), vec![NodeId(0)]);
+        nn.register(BlockId(1), vec![NodeId(0)]);
+        let mut s = LocalityScheduler::with_scope(&nn, vec![BlockId(0), BlockId(1)]);
+        let (b, local) = s.next_task(NodeId(1)).unwrap();
+        assert!(!local);
+        assert_eq!(b, BlockId(0));
+    }
+
+    #[test]
+    fn datanet_scheduler_skips_empty_blocks() {
+        let d = dfs();
+        let view = ElasticMapArray::build(&d, &Separation::All).view(SubDatasetId(0));
+        let mut s = DataNetScheduler::new(&d, &view);
+        assert_eq!(s.remaining(), view.block_count());
+        assert!(view.block_count() < d.block_count(), "scope must shrink");
+        let mut count = 0;
+        let mut node = 0u32;
+        while s.next_task(NodeId(node % 4)).is_some() {
+            count += 1;
+            node += 1;
+        }
+        assert_eq!(count, view.block_count());
+    }
+
+    #[test]
+    fn delay_scheduler_defers_then_serves_remote() {
+        // Node 1 holds nothing; with a skip budget of 2 it must return None
+        // twice and then hand out a remote block.
+        let mut nn = NameNode::new(2);
+        nn.register(BlockId(0), vec![NodeId(0)]);
+        nn.register(BlockId(1), vec![NodeId(0)]);
+        let inner = LocalityScheduler::with_scope(&nn, vec![BlockId(0), BlockId(1)]);
+        let mut s = DelayScheduler {
+            inner,
+            skips: vec![0; 2],
+            max_skips: 2,
+        };
+        assert!(s.next_task(NodeId(1)).is_none());
+        assert!(s.next_task(NodeId(1)).is_none());
+        let (b, local) = s.next_task(NodeId(1)).expect("budget exhausted");
+        assert!(!local);
+        assert!(b == BlockId(0) || b == BlockId(1));
+        assert_eq!(s.remaining(), 1);
+    }
+
+    #[test]
+    fn delay_scheduler_never_defers_local_work() {
+        let d = dfs();
+        let mut s = DelayScheduler::new(&d, 3);
+        let (_, local) = s.next_task(NodeId(0)).expect("node 0 has local blocks");
+        assert!(local);
+    }
+
+    #[test]
+    fn delay_scheduler_still_drains_everything() {
+        let d = dfs();
+        let mut s = DelayScheduler::new(&d, 2);
+        let mut served = 0;
+        let mut spins = 0;
+        while s.remaining() > 0 {
+            for n in 0..4u32 {
+                if s.next_task(NodeId(n)).is_some() {
+                    served += 1;
+                }
+            }
+            spins += 1;
+            assert!(spins < 10_000, "scheduler wedged");
+        }
+        assert_eq!(served, d.block_count());
+    }
+
+    #[test]
+    fn planned_scheduler_serves_the_plan_exactly() {
+        let d = dfs();
+        let view = ElasticMapArray::build(&d, &Separation::All).view(SubDatasetId(0));
+        let plan = datanet::FordFulkersonPlanner::new(&d, &view).plan();
+        let mut s = PlannedScheduler::new(&plan, d.namenode());
+        assert_eq!(s.remaining(), plan.assigned_blocks());
+        for n in 0..4u32 {
+            let expected: Vec<BlockId> = plan.tasks_of(NodeId(n)).to_vec();
+            let mut got = Vec::new();
+            while let Some((b, local)) = s.next_task(NodeId(n)) {
+                assert!(local, "flow plans are all-local");
+                got.push(b);
+            }
+            assert_eq!(got, expected);
+        }
+        assert_eq!(s.remaining(), 0);
+    }
+}
+
+/// Delay scheduling (Zaharia et al., EuroSys 2010) on top of the locality
+/// baseline: a node with no local unassigned block *waits* for up to
+/// `max_skips` heartbeats before accepting a remote block, trading a little
+/// latency for near-perfect locality. Like plain locality scheduling it is
+/// oblivious to sub-dataset content, so it inherits the paper's imbalance —
+/// included to show that better *locality* does not fix the *distribution*
+/// problem.
+#[derive(Debug, Clone)]
+pub struct DelayScheduler {
+    inner: LocalityScheduler,
+    /// Consecutive skips per node.
+    skips: Vec<u32>,
+    max_skips: u32,
+}
+
+impl DelayScheduler {
+    /// Wrap the full-DFS locality baseline with a skip budget.
+    pub fn new(dfs: &Dfs, max_skips: u32) -> Self {
+        let inner = LocalityScheduler::new(dfs);
+        let nodes = dfs.config().topology.len();
+        Self {
+            inner,
+            skips: vec![0; nodes],
+            max_skips,
+        }
+    }
+
+    /// Whether the node still has a local unassigned block.
+    fn has_local(&self, node: NodeId) -> bool {
+        self.inner.local[node.index()]
+            .iter()
+            .any(|b| self.inner.remaining.contains(b))
+    }
+}
+
+impl MapScheduler for DelayScheduler {
+    fn next_task(&mut self, node: NodeId) -> Option<(BlockId, bool)> {
+        if self.inner.remaining.is_empty() {
+            return None;
+        }
+        if !self.has_local(node) && self.skips[node.index()] < self.max_skips {
+            // Defer: maybe a local block frees up (it cannot here — blocks
+            // are not returned — but real Hadoop defers for new splits and
+            // speculative re-execution; the waiting cost is what we model).
+            self.skips[node.index()] += 1;
+            return None;
+        }
+        self.skips[node.index()] = 0;
+        self.inner.next_task(node)
+    }
+
+    fn remaining(&self) -> usize {
+        self.inner.remaining()
+    }
+
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+}

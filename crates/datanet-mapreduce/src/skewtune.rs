@@ -1,0 +1,157 @@
+//! The runtime-migration baseline (Section V-A-4).
+//!
+//! SkewTune-style systems fix imbalance *after the fact*: once the selection
+//! phase has materialised skewed partitions, they migrate data from
+//! overloaded to underloaded nodes. The paper measures that on its movie
+//! workload "the overall percentage of data migration is more than 30%" and
+//! argues the network cost makes this strictly worse than DataNet's
+//! proactive balancing. This module reproduces that comparison.
+
+use datanet_cluster::{NodeSpec, SimCluster, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Result of rebalancing skewed partitions by migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationOutcome {
+    /// Bytes moved between nodes.
+    pub moved_bytes: u64,
+    /// Moved bytes / total bytes — the paper's ">30%" metric.
+    pub fraction: f64,
+    /// Wall-clock seconds the migration takes on the simulated network
+    /// (transfers parallelise across disjoint node pairs).
+    pub migration_secs: f64,
+    /// Post-migration per-node bytes (balanced to within one byte of the
+    /// mean, up to integer division).
+    pub balanced: Vec<u64>,
+    /// Number of nodes that sent or received data.
+    pub nodes_touched: usize,
+}
+
+/// Rebalance partitions to the mean by greedy pairing of the most
+/// overloaded sender with the most underloaded receiver.
+///
+/// # Panics
+/// Panics if `partitions` is empty.
+pub fn rebalance(partitions: &[u64], spec: &NodeSpec) -> MigrationOutcome {
+    assert!(!partitions.is_empty(), "need at least one partition");
+    spec.validate();
+    let m = partitions.len();
+    let total: u64 = partitions.iter().sum();
+    let mean = total / m as u64;
+
+    // Surpluses and deficits relative to the mean.
+    let mut balanced: Vec<u64> = partitions.to_vec();
+    let mut senders: Vec<(usize, u64)> = Vec::new();
+    let mut receivers: Vec<(usize, u64)> = Vec::new();
+    for (i, &b) in partitions.iter().enumerate() {
+        if b > mean {
+            senders.push((i, b - mean));
+        } else if b < mean {
+            receivers.push((i, mean - b));
+        }
+    }
+    // Largest surplus first, largest deficit first.
+    senders.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    receivers.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut cluster = SimCluster::homogeneous(m, *spec);
+    let mut moved = 0u64;
+    let mut touched = std::collections::BTreeSet::new();
+    let (mut si, mut ri) = (0usize, 0usize);
+    let mut end = SimTime::ZERO;
+    while si < senders.len() && ri < receivers.len() {
+        let (s_node, s_left) = senders[si];
+        let (r_node, r_left) = receivers[ri];
+        let amount = s_left.min(r_left);
+        if amount > 0 {
+            // Read from the sender's disk, ship it, write on the receiver.
+            let (_, read_end) = cluster.node_mut(s_node).read_disk(SimTime::ZERO, amount);
+            let (_, arr) = cluster.transfer(s_node, r_node, read_end, amount);
+            let (_, w_end) = cluster.node_mut(r_node).write_disk(arr, amount);
+            end = end.max(w_end);
+            moved += amount;
+            balanced[s_node] -= amount;
+            balanced[r_node] += amount;
+            touched.insert(s_node);
+            touched.insert(r_node);
+        }
+        senders[si].1 -= amount;
+        receivers[ri].1 -= amount;
+        if senders[si].1 == 0 {
+            si += 1;
+        }
+        if receivers[ri].1 == 0 {
+            ri += 1;
+        }
+    }
+
+    MigrationOutcome {
+        moved_bytes: moved,
+        fraction: if total == 0 {
+            0.0
+        } else {
+            moved as f64 / total as f64
+        },
+        migration_secs: end.as_secs_f64(),
+        balanced,
+        nodes_touched: touched.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_balanced_moves_nothing() {
+        let out = rebalance(&[100, 100, 100, 100], &NodeSpec::marmot());
+        assert_eq!(out.moved_bytes, 0);
+        assert_eq!(out.fraction, 0.0);
+        assert_eq!(out.migration_secs, 0.0);
+        assert_eq!(out.balanced, vec![100, 100, 100, 100]);
+        assert_eq!(out.nodes_touched, 0);
+    }
+
+    #[test]
+    fn skewed_partitions_balance_to_mean() {
+        let parts = vec![400u64, 0, 0, 0];
+        let out = rebalance(&parts, &NodeSpec::marmot());
+        assert_eq!(out.moved_bytes, 300);
+        assert!((out.fraction - 0.75).abs() < 1e-12);
+        assert_eq!(out.balanced, vec![100, 100, 100, 100]);
+        assert!(out.migration_secs > 0.0);
+        assert_eq!(out.nodes_touched, 4);
+    }
+
+    #[test]
+    fn conserves_total_bytes() {
+        let parts = vec![931u64, 17, 450, 2, 88, 88, 600, 44];
+        let out = rebalance(&parts, &NodeSpec::marmot());
+        assert_eq!(out.balanced.iter().sum::<u64>(), parts.iter().sum::<u64>());
+        // Every node within one mean-rounding unit of the mean.
+        let mean = parts.iter().sum::<u64>() / parts.len() as u64;
+        for &b in &out.balanced {
+            assert!(b.abs_diff(mean) <= parts.len() as u64);
+        }
+    }
+
+    #[test]
+    fn migration_fraction_grows_with_skew() {
+        let mild = rebalance(&[120, 100, 90, 90], &NodeSpec::marmot());
+        let harsh = rebalance(&[400, 0, 0, 0], &NodeSpec::marmot());
+        assert!(harsh.fraction > mild.fraction);
+    }
+
+    #[test]
+    fn migration_time_scales_with_moved_bytes() {
+        let small = rebalance(&[2_000_000, 0], &NodeSpec::marmot());
+        let large = rebalance(&[200_000_000, 0], &NodeSpec::marmot());
+        assert!(large.migration_secs > small.migration_secs * 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_partitions_rejected() {
+        rebalance(&[], &NodeSpec::marmot());
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic workload generators reproducing the paper's datasets.
+//!
+//! The paper evaluates on (a) a movie-rating/review log derived from
+//! MovieTweetings/MovieLens, stored chronologically — strongly
+//! content-clustered because "most reviews about a movie are clustered
+//! around the time of its release" — and (b) GitHub Archive event logs,
+//! whose `IssueEvent` sub-dataset is imbalanced across blocks *without*
+//! obvious clustering. Neither raw corpus ships with this reproduction, so
+//! [`movies`] and [`github`] generate records with the same distributional
+//! structure (see DESIGN.md for the substitution argument), and
+//! [`worldcup`] adds the bursty web-access-log regime of the paper's
+//! reference \[3\].
+//!
+//! All generators are deterministic under a fixed seed and emit records in
+//! timestamp order — the property that turns temporal locality into HDFS
+//! block clustering.
+
+pub mod clickstream;
+pub mod github;
+pub mod movies;
+pub mod worldcup;
+
+pub use clickstream::ClickstreamConfig;
+pub use github::{EventType, GithubConfig};
+pub use movies::{MovieCatalog, MoviesConfig};
+pub use worldcup::WorldCupConfig;
+
+/// Session counter used by clickstream tests (kept here to avoid a cyclic
+/// dev-dependency on `datanet-analytics`, which owns the real
+/// sessionization).
+#[doc(hidden)]
+pub fn clickstream_sessions_for_test(records: &[datanet_dfs::Record], gap_secs: u64) -> usize {
+    if records.is_empty() {
+        return 0;
+    }
+    1 + records
+        .windows(2)
+        .filter(|w| w[1].timestamp - w[0].timestamp > gap_secs)
+        .count()
+}

@@ -1,0 +1,205 @@
+//! The bipartite distribution graph `G = (CN, B, E)` of Section IV-A.
+//!
+//! Vertices are cluster nodes and block files; an edge `(cn_i, b_j)` exists
+//! iff node `cn_i` holds a replica of `b_j`, weighted by `|b_j ∩ s|` — the
+//! sub-dataset bytes the ElasticMap attributes to that block. Algorithm 1
+//! consumes the graph destructively: assigning a block removes all of its
+//! edges.
+
+use crate::distribution::SubDatasetView;
+use datanet_dfs::{BlockId, NameNode, NodeId};
+
+/// Mutable bipartite graph between cluster nodes and (not-yet-assigned)
+/// blocks, weighted by sub-dataset content.
+#[derive(Debug, Clone)]
+pub struct DistributionGraph {
+    /// `adj_node[n]` = blocks adjacent to node `n` (still unassigned).
+    adj_node: Vec<Vec<BlockId>>,
+    /// `holders[b]` = nodes adjacent to block `b`; `None` once removed or
+    /// never in scope.
+    holders: Vec<Option<Vec<NodeId>>>,
+    /// `weight[b]` = `|b ∩ s|` as known to the meta-data.
+    weight: Vec<u64>,
+    /// Blocks still in the graph.
+    remaining: usize,
+}
+
+impl DistributionGraph {
+    /// Build the graph for the blocks in `view` (τ₁ ∪ τ₂), using the
+    /// NameNode's replica map for edges and the view's weights.
+    pub fn from_view(namenode: &NameNode, view: &SubDatasetView) -> Self {
+        Self::build(namenode, view.blocks().map(|b| (b, view.weight(b))))
+    }
+
+    /// Build the graph over an explicit `(block, weight)` scope. Blocks
+    /// must be distinct.
+    pub fn build(namenode: &NameNode, scope: impl IntoIterator<Item = (BlockId, u64)>) -> Self {
+        let total_blocks = namenode.block_count();
+        let mut holders: Vec<Option<Vec<NodeId>>> = vec![None; total_blocks];
+        let mut weight = vec![0u64; total_blocks];
+        let mut adj_node = vec![Vec::new(); namenode.node_count()];
+        let mut remaining = 0;
+        for (b, w) in scope {
+            assert!(b.index() < total_blocks, "block {b} unknown to NameNode");
+            assert!(holders[b.index()].is_none(), "duplicate block {b} in scope");
+            let nodes = namenode.replicas(b).to_vec();
+            for &n in &nodes {
+                adj_node[n.index()].push(b);
+            }
+            holders[b.index()] = Some(nodes);
+            weight[b.index()] = w;
+            remaining += 1;
+        }
+        Self {
+            adj_node,
+            holders,
+            weight,
+            remaining,
+        }
+    }
+
+    /// Blocks still unassigned that are local to `n` — the paper's `d_i`.
+    /// May contain already-removed blocks lazily; use
+    /// [`DistributionGraph::local_blocks`] for the filtered view.
+    pub fn local_blocks(&self, n: NodeId) -> impl Iterator<Item = BlockId> + '_ {
+        self.adj_node[n.index()]
+            .iter()
+            .copied()
+            .filter(|b| self.contains(*b))
+    }
+
+    /// Nodes holding block `b`, if it is still in the graph.
+    pub fn holders(&self, b: BlockId) -> Option<&[NodeId]> {
+        self.holders[b.index()].as_deref()
+    }
+
+    /// Whether block `b` is still unassigned and in scope.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.holders[b.index()].is_some()
+    }
+
+    /// The weight `|b ∩ s|` of a block (0 if out of scope).
+    pub fn weight(&self, b: BlockId) -> u64 {
+        self.weight[b.index()]
+    }
+
+    /// Number of blocks still in the graph.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// All blocks still in the graph.
+    pub fn remaining_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.holders
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_some())
+            .map(|(i, _)| BlockId(i as u32))
+    }
+
+    /// Total weight still unassigned.
+    pub fn remaining_weight(&self) -> u64 {
+        self.remaining_blocks().map(|b| self.weight(b)).sum()
+    }
+
+    /// Number of cluster nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj_node.len()
+    }
+
+    /// Remove block `b` and all of its edges (lines 18–20 of Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics if `b` was already removed or never in scope.
+    pub fn remove_block(&mut self, b: BlockId) {
+        assert!(
+            self.holders[b.index()].take().is_some(),
+            "block {b} not in graph"
+        );
+        self.remaining -= 1;
+        // adj_node lists are cleaned lazily by the `contains` filter; a
+        // periodic compaction keeps them from growing stale.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datanet_dfs::SubDatasetId;
+
+    fn namenode() -> NameNode {
+        let mut nn = NameNode::new(3);
+        nn.register(BlockId(0), vec![NodeId(0), NodeId(1)]);
+        nn.register(BlockId(1), vec![NodeId(1), NodeId(2)]);
+        nn.register(BlockId(2), vec![NodeId(0), NodeId(2)]);
+        nn.register(BlockId(3), vec![NodeId(2)]);
+        nn
+    }
+
+    fn graph() -> DistributionGraph {
+        DistributionGraph::build(
+            &namenode(),
+            vec![(BlockId(0), 100), (BlockId(1), 50), (BlockId(3), 10)],
+        )
+    }
+
+    #[test]
+    fn scope_controls_membership() {
+        let g = graph();
+        assert!(g.contains(BlockId(0)));
+        assert!(!g.contains(BlockId(2))); // not in scope
+        assert_eq!(g.remaining(), 3);
+        assert_eq!(g.remaining_weight(), 160);
+        assert_eq!(g.weight(BlockId(2)), 0);
+    }
+
+    #[test]
+    fn adjacency_mirrors_replicas() {
+        let g = graph();
+        let d0: Vec<_> = g.local_blocks(NodeId(0)).collect();
+        assert_eq!(d0, vec![BlockId(0)]);
+        let d2: Vec<_> = g.local_blocks(NodeId(2)).collect();
+        assert_eq!(d2, vec![BlockId(1), BlockId(3)]);
+        assert_eq!(g.holders(BlockId(1)).unwrap(), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn removal_deletes_all_edges() {
+        let mut g = graph();
+        g.remove_block(BlockId(1));
+        assert!(!g.contains(BlockId(1)));
+        assert_eq!(g.remaining(), 2);
+        assert!(g.local_blocks(NodeId(1)).all(|b| b != BlockId(1)));
+        assert!(g.local_blocks(NodeId(2)).all(|b| b != BlockId(1)));
+        assert!(g.holders(BlockId(1)).is_none());
+    }
+
+    #[test]
+    fn from_view_uses_view_weights() {
+        let nn = namenode();
+        let view = SubDatasetView::new(
+            SubDatasetId(5),
+            vec![(BlockId(0), 777)],
+            vec![BlockId(3)],
+            u64::MAX,
+        );
+        let g = DistributionGraph::from_view(&nn, &view);
+        assert_eq!(g.weight(BlockId(0)), 777);
+        assert_eq!(g.weight(BlockId(3)), 777); // δ = min exact = 777
+        assert!(!g.contains(BlockId(1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_removal_panics() {
+        let mut g = graph();
+        g.remove_block(BlockId(0));
+        g.remove_block(BlockId(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_scope_panics() {
+        DistributionGraph::build(&namenode(), vec![(BlockId(0), 1), (BlockId(0), 2)]);
+    }
+}

@@ -1,0 +1,231 @@
+//! A Bloom filter, built from scratch (Bloom, CACM 1970 — reference \[6\] of
+//! the paper).
+//!
+//! The ElasticMap stores non-dominant sub-datasets here: ~10 bits per
+//! element instead of the ~85 bits a hash-map entry costs (Section III-A).
+//! Sizing follows the textbook formulas: for `n` expected items at false
+//! positive rate `ε`, `bits = −n·ln ε / ln² 2` and `k = (bits/n)·ln 2`
+//! hash functions. Lookups use double hashing (Kirsch–Mitzenmacher): the
+//! `i`-th probe is `h1 + i·h2`.
+
+use datanet_dfs::SubDatasetId;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size Bloom filter over [`SubDatasetId`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    items: usize,
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `expected_items` at false-positive rate
+    /// `epsilon`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn with_rate(expected_items: usize, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "false positive rate must be in (0,1), got {epsilon}"
+        );
+        let n = expected_items.max(1) as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let bits = (-n * epsilon.ln() / (ln2 * ln2)).ceil().max(8.0) as u64;
+        let k = ((bits as f64 / n) * ln2).round().clamp(1.0, 30.0) as u32;
+        Self::with_params(bits, k)
+    }
+
+    /// Build a filter with explicit bit count and hash count.
+    ///
+    /// # Panics
+    /// Panics if `num_bits == 0` or `num_hashes == 0`.
+    pub fn with_params(num_bits: u64, num_hashes: u32) -> Self {
+        assert!(num_bits > 0, "bloom filter needs at least one bit");
+        assert!(num_hashes > 0, "bloom filter needs at least one hash");
+        let words = num_bits.div_ceil(64) as usize;
+        Self {
+            bits: vec![0; words],
+            num_bits,
+            num_hashes,
+            items: 0,
+        }
+    }
+
+    /// Two independent 64-bit hashes of the id (SplitMix64 finalizers with
+    /// distinct stream constants), combined by double hashing.
+    #[inline]
+    fn hash_pair(id: SubDatasetId) -> (u64, u64) {
+        #[inline]
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let h1 = mix(id.0.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        let h2 = mix(id.0.wrapping_add(0xD1B5_4A32_D192_ED03)) | 1; // odd ⇒ full period
+        (h1, h2)
+    }
+
+    /// Insert an id.
+    pub fn insert(&mut self, id: SubDatasetId) {
+        let (h1, h2) = Self::hash_pair(id);
+        for i in 0..self.num_hashes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.items += 1;
+    }
+
+    /// Whether the id *may* be present. False positives possible, false
+    /// negatives impossible.
+    pub fn contains(&self, id: SubDatasetId) -> bool {
+        let (h1, h2) = Self::hash_pair(id);
+        (0..self.num_hashes as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Number of insert calls so far (an upper bound on distinct items).
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Size of the bit array.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// Number of hash probes per operation.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Memory footprint of the bit array in bytes (what Equation 5 accounts
+    /// as `−ln ε / ln² 2` bits per element).
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Expected false-positive rate at the current fill:
+    /// `(1 − e^{−kn/m})^k`.
+    pub fn expected_fpr(&self) -> f64 {
+        let k = self.num_hashes as f64;
+        let n = self.items as f64;
+        let m = self.num_bits as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+
+    /// Fraction of set bits (diagnostic; ~50% at design capacity).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        set as f64 / self.num_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_rate(1000, 0.01);
+        for i in 0..1000 {
+            f.insert(SubDatasetId(i * 17));
+        }
+        for i in 0..1000 {
+            assert!(f.contains(SubDatasetId(i * 17)), "lost id {}", i * 17);
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_design_point() {
+        let n = 10_000;
+        let eps = 0.01;
+        let mut f = BloomFilter::with_rate(n, eps);
+        for i in 0..n as u64 {
+            f.insert(SubDatasetId(i));
+        }
+        // Probe ids disjoint from the inserted range.
+        let probes = 100_000u64;
+        let fp = (0..probes)
+            .filter(|i| f.contains(SubDatasetId(1_000_000 + i)))
+            .count();
+        let rate = fp as f64 / probes as f64;
+        assert!(
+            rate < eps * 3.0,
+            "observed FPR {rate} way above design {eps}"
+        );
+        assert!(
+            (f.expected_fpr() - eps).abs() < eps,
+            "analytic FPR {} far from design {eps}",
+            f.expected_fpr()
+        );
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::with_rate(100, 0.01);
+        for i in 0..1000 {
+            assert!(!f.contains(SubDatasetId(i)));
+        }
+        assert_eq!(f.items(), 0);
+        assert_eq!(f.expected_fpr(), 0.0);
+    }
+
+    #[test]
+    fn paper_memory_claim_ten_bits_per_item() {
+        // Section III-A: "using a bloom filter will cost 10 bits" per
+        // sub-dataset (vs 85 in a hash map) — that corresponds to ε ≈ 1%.
+        let f = BloomFilter::with_rate(10_000, 0.01);
+        let bits_per_item = f.num_bits() as f64 / 10_000.0;
+        assert!(
+            (9.0..11.0).contains(&bits_per_item),
+            "got {bits_per_item} bits/item"
+        );
+    }
+
+    #[test]
+    fn fill_ratio_near_half_at_capacity() {
+        let n = 5_000;
+        let mut f = BloomFilter::with_rate(n, 0.01);
+        for i in 0..n as u64 {
+            f.insert(SubDatasetId(i));
+        }
+        let r = f.fill_ratio();
+        assert!((0.4..0.6).contains(&r), "fill ratio {r} not near 0.5");
+    }
+
+    #[test]
+    fn tiny_filter_still_works() {
+        let mut f = BloomFilter::with_params(8, 1);
+        f.insert(SubDatasetId(1));
+        assert!(f.contains(SubDatasetId(1)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut f = BloomFilter::with_rate(100, 0.05);
+        for i in 0..100 {
+            f.insert(SubDatasetId(i));
+        }
+        let json = serde_json::to_string(&f).unwrap();
+        let g: BloomFilter = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_rate() {
+        BloomFilter::with_rate(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_bits() {
+        BloomFilter::with_params(0, 3);
+    }
+}

@@ -1,0 +1,350 @@
+//! The ElasticMap: per-block hybrid meta-data store (Section III-A).
+//!
+//! For one block, stores the **dominant** sub-datasets' sizes exactly in a
+//! hash map and the **non-dominant** sub-datasets' existence in a Bloom
+//! filter. "Elastic" because the split point slides with the memory budget:
+//! everything in the hash map when memory is plentiful (`Separation::All`),
+//! almost everything in the bloom filter when it is tight.
+
+use crate::bloom::BloomFilter;
+use crate::buckets::{BucketCounter, Buckets};
+use datanet_dfs::{Block, BlockId, SubDatasetId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How to split a block's sub-datasets between hash map and bloom filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Separation {
+    /// Store the top `alpha` fraction (by the bucket walk) of sub-datasets
+    /// exactly; the rest go to the bloom filter. This is the paper's `α` in
+    /// Equation 5 (their experiments use α = 0.3).
+    Alpha(f64),
+    /// Store sub-datasets with at least `min_bytes` in this block exactly;
+    /// smaller ones go to the bloom filter (the "32 kB upper bound / 1 kB
+    /// lower bound" discussion of Section III-B).
+    Threshold {
+        /// Minimum per-block size for exact storage.
+        min_bytes: u64,
+    },
+    /// Everything exact (maximum memory, maximum accuracy).
+    All,
+    /// Everything in the bloom filter (minimum memory; sizes unknown).
+    BloomOnly,
+}
+
+/// What the ElasticMap knows about a sub-dataset within one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeInfo {
+    /// Dominant: the exact byte size is recorded in the hash map.
+    Exact(u64),
+    /// Non-dominant: present in the bloom filter; actual size unknown but
+    /// below the block's dominance threshold.
+    Approximate,
+    /// Not present in this block (up to bloom false positives, the filter
+    /// never reports an actually-present sub-dataset as absent).
+    Absent,
+}
+
+/// Per-block meta-data: the paper's Figure 3 node (`id → quantity` pairs
+/// plus a bloom bitmap).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElasticMap {
+    block: BlockId,
+    exact: HashMap<SubDatasetId, u64>,
+    bloom: BloomFilter,
+    /// Number of sub-datasets relegated to the bloom filter.
+    bloom_items: usize,
+    /// Dominance threshold used at build time: every bloom-resident
+    /// sub-dataset has size < `threshold` in this block. Used as the
+    /// fallback `δ` bound of Equation 6.
+    threshold: u64,
+    /// Smallest per-sub-dataset size relegated to the bloom filter (the
+    /// tight lower bound for `δ`); `None` when the bloom side is empty.
+    bloom_min_bytes: Option<u64>,
+}
+
+/// False-positive rate used for bloom sizing; 1% reproduces the paper's
+/// "10 bits per sub-dataset" figure.
+pub const BLOOM_EPSILON: f64 = 0.01;
+
+impl ElasticMap {
+    /// Build the ElasticMap of `block` with the given separation policy.
+    ///
+    /// Single scan over the block's records (the bucket counter is O(1) per
+    /// record), then an O(#buckets) threshold walk and one pass over the
+    /// distinct sub-datasets to split them — O(records + distinct), no sort.
+    ///
+    /// Buckets use a Fibonacci progression based at the block's **mean
+    /// record size**: per-sub-dataset sizes are integer multiples of record
+    /// sizes, so this keeps the walk discriminating from "one record" up to
+    /// "~34 records" regardless of experiment scale. At the paper's scale
+    /// (64 MB blocks, ~600 B–1 kB log records) this reproduces their
+    /// 1 kB-based bucket series.
+    pub fn build(block: &Block, policy: &Separation) -> Self {
+        let base = if block.is_empty() {
+            1024 // paper default; irrelevant for an empty block
+        } else {
+            (block.bytes() / block.len() as u64).max(1)
+        };
+        Self::build_with_buckets(block, policy, Buckets::fibonacci(base, 9))
+    }
+
+    /// [`ElasticMap::build`] with explicit buckets (for tests/ablations).
+    pub fn build_with_buckets(block: &Block, policy: &Separation, buckets: Buckets) -> Self {
+        let mut counter = BucketCounter::new(buckets);
+        for r in block.records() {
+            counter.record(r.subdataset, r.size as u64);
+        }
+        let distinct = counter.distinct();
+        let threshold = match policy {
+            Separation::Alpha(alpha) => {
+                assert!(
+                    (0.0..=1.0).contains(alpha),
+                    "alpha must be in [0,1], got {alpha}"
+                );
+                let quota = (*alpha * distinct as f64).ceil() as usize;
+                counter.dominance_threshold(quota)
+            }
+            Separation::Threshold { min_bytes } => *min_bytes,
+            Separation::All => 0,
+            Separation::BloomOnly => u64::MAX,
+        };
+        let sizes = counter.sizes().clone();
+        let bloom_count = sizes.values().filter(|&&s| s < threshold).count();
+        let mut bloom = BloomFilter::with_rate(bloom_count.max(1), BLOOM_EPSILON);
+        let mut exact = HashMap::new();
+        let mut bloom_min_bytes: Option<u64> = None;
+        for (id, size) in sizes {
+            if size >= threshold {
+                exact.insert(id, size);
+            } else {
+                bloom.insert(id);
+                bloom_min_bytes = Some(bloom_min_bytes.map_or(size, |m: u64| m.min(size)));
+            }
+        }
+        Self {
+            block: block.id(),
+            exact,
+            bloom,
+            bloom_items: bloom_count,
+            threshold,
+            bloom_min_bytes,
+        }
+    }
+
+    /// The block this map describes.
+    pub fn block(&self) -> BlockId {
+        self.block
+    }
+
+    /// Query a sub-dataset.
+    pub fn query(&self, id: SubDatasetId) -> SizeInfo {
+        if let Some(&size) = self.exact.get(&id) {
+            SizeInfo::Exact(size)
+        } else if self.bloom.contains(id) {
+            SizeInfo::Approximate
+        } else {
+            SizeInfo::Absent
+        }
+    }
+
+    /// Exact entries (dominant sub-datasets) — the Table I content.
+    pub fn exact_entries(&self) -> impl Iterator<Item = (SubDatasetId, u64)> + '_ {
+        self.exact.iter().map(|(&id, &s)| (id, s))
+    }
+
+    /// Number of hash-map entries.
+    pub fn exact_len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Number of bloom-filter entries.
+    pub fn bloom_len(&self) -> usize {
+        self.bloom_items
+    }
+
+    /// Total distinct sub-datasets recorded.
+    pub fn distinct(&self) -> usize {
+        self.exact.len() + self.bloom_items
+    }
+
+    /// Fraction of sub-datasets stored exactly — the *achieved* α (the
+    /// bucket walk may overshoot the requested α by part of one bucket).
+    pub fn achieved_alpha(&self) -> f64 {
+        if self.distinct() == 0 {
+            return 0.0;
+        }
+        self.exact.len() as f64 / self.distinct() as f64
+    }
+
+    /// Dominance threshold used at build time.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Per-block `δ` bound: the smallest size that went to the bloom side,
+    /// if known, else the build threshold (every bloom entry is below it).
+    pub fn bloom_delta_hint(&self) -> u64 {
+        self.bloom_min_bytes
+            .unwrap_or(if self.threshold == u64::MAX {
+                0
+            } else {
+                self.threshold
+            })
+    }
+
+    /// Measured memory footprint in bytes: hash-map entries at their
+    /// serialized width plus the bloom bit array. Mirrors Equation 5 with
+    /// `k` = 96 bits/record (64-bit id + 32-bit size + overhead amortised
+    /// by the load factor, see [`crate::memory::MemoryModel`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.exact.len() * 12 + self.bloom.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datanet_dfs::Record;
+
+    /// Block with sub-dataset i ∈ 0..10 holding (i+1)·100 bytes.
+    fn graded_block() -> Block {
+        let mut recs = Vec::new();
+        let mut seed = 0;
+        for i in 0..10u64 {
+            for _ in 0..(i + 1) {
+                recs.push(Record::new(SubDatasetId(i), i, 100, seed));
+                seed += 1;
+            }
+        }
+        Block::new(BlockId(0), recs)
+    }
+
+    #[test]
+    fn all_policy_stores_everything_exactly() {
+        let b = graded_block();
+        let m = ElasticMap::build(&b, &Separation::All);
+        assert_eq!(m.exact_len(), 10);
+        assert_eq!(m.bloom_len(), 0);
+        for i in 0..10u64 {
+            assert_eq!(m.query(SubDatasetId(i)), SizeInfo::Exact((i + 1) * 100));
+        }
+        assert_eq!(m.achieved_alpha(), 1.0);
+    }
+
+    #[test]
+    fn bloom_only_policy_stores_nothing_exactly() {
+        let b = graded_block();
+        let m = ElasticMap::build(&b, &Separation::BloomOnly);
+        assert_eq!(m.exact_len(), 0);
+        assert_eq!(m.bloom_len(), 10);
+        for i in 0..10u64 {
+            assert_eq!(m.query(SubDatasetId(i)), SizeInfo::Approximate);
+        }
+    }
+
+    #[test]
+    fn threshold_policy_splits_at_min_bytes() {
+        let b = graded_block();
+        let m = ElasticMap::build(&b, &Separation::Threshold { min_bytes: 500 });
+        // Sizes 100..1000; ≥500 are ids 4..9 (sizes 500..1000).
+        assert_eq!(m.exact_len(), 6);
+        assert_eq!(m.bloom_len(), 4);
+        assert_eq!(m.query(SubDatasetId(9)), SizeInfo::Exact(1000));
+        assert_eq!(m.query(SubDatasetId(0)), SizeInfo::Approximate);
+        assert_eq!(m.bloom_delta_hint(), 100);
+    }
+
+    #[test]
+    fn alpha_policy_keeps_at_least_requested_fraction() {
+        let b = graded_block();
+        for &alpha in &[0.1, 0.3, 0.5, 0.9] {
+            let m = ElasticMap::build(&b, &Separation::Alpha(alpha));
+            assert!(
+                m.achieved_alpha() >= alpha - 1e-9,
+                "requested α={alpha}, achieved {}",
+                m.achieved_alpha()
+            );
+            // The exact side must hold the LARGEST sub-datasets: every exact
+            // size ≥ every bloom-side size.
+            let min_exact = m.exact_entries().map(|(_, s)| s).min().unwrap_or(u64::MAX);
+            for i in 0..10u64 {
+                if let SizeInfo::Approximate = m.query(SubDatasetId(i)) {
+                    assert!((i + 1) * 100 <= min_exact);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absent_subdatasets_mostly_absent() {
+        let b = graded_block();
+        let m = ElasticMap::build(&b, &Separation::Alpha(0.3));
+        // With 1% FPR, 100 absent ids should almost all report Absent.
+        let absent = (100..200u64)
+            .filter(|&i| m.query(SubDatasetId(i)) == SizeInfo::Absent)
+            .count();
+        assert!(absent >= 95, "only {absent}/100 reported absent");
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let b = graded_block();
+        for policy in [
+            Separation::Alpha(0.2),
+            Separation::Threshold { min_bytes: 400 },
+            Separation::All,
+            Separation::BloomOnly,
+        ] {
+            let m = ElasticMap::build(&b, &policy);
+            for i in 0..10u64 {
+                assert_ne!(
+                    m.query(SubDatasetId(i)),
+                    SizeInfo::Absent,
+                    "present sub-dataset {i} reported absent under {policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_shrinks_as_alpha_drops() {
+        // A block with many distinct sub-datasets shows the elastic
+        // trade-off clearly.
+        let recs: Vec<Record> = (0..2000u64)
+            .map(|i| Record::new(SubDatasetId(i % 500), i, ((i % 500) * 7 + 40) as u32, i))
+            .collect();
+        let b = Block::new(BlockId(1), recs);
+        let full = ElasticMap::build(&b, &Separation::All).memory_bytes();
+        let half = ElasticMap::build(&b, &Separation::Alpha(0.5)).memory_bytes();
+        let none = ElasticMap::build(&b, &Separation::BloomOnly).memory_bytes();
+        assert!(full > half, "full {full} vs half {half}");
+        assert!(half > none, "half {half} vs none {none}");
+    }
+
+    #[test]
+    fn empty_block_yields_empty_map() {
+        let b = Block::new(BlockId(2), vec![]);
+        let m = ElasticMap::build(&b, &Separation::Alpha(0.3));
+        assert_eq!(m.distinct(), 0);
+        assert_eq!(m.query(SubDatasetId(0)), SizeInfo::Absent);
+        assert_eq!(m.achieved_alpha(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_queries() {
+        let b = graded_block();
+        let m = ElasticMap::build(&b, &Separation::Alpha(0.4));
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: ElasticMap = serde_json::from_str(&json).unwrap();
+        for i in 0..20u64 {
+            assert_eq!(m.query(SubDatasetId(i)), m2.query(SubDatasetId(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_out_of_range_rejected() {
+        ElasticMap::build(&graded_block(), &Separation::Alpha(1.5));
+    }
+}

@@ -1,0 +1,231 @@
+//! Single-scan construction of the per-block ElasticMap array
+//! (Section III-B: "only a single scan of the raw data is needed for the
+//! meta-data construction").
+//!
+//! Each block's ElasticMap is independent, so the scan parallelises
+//! trivially across blocks with Rayon — total work stays O(records), wall
+//! time divides by the core count.
+
+use crate::distribution::SubDatasetView;
+use crate::elasticmap::{ElasticMap, Separation, SizeInfo};
+use datanet_dfs::{BlockId, Dfs, SubDatasetId};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The DataNet meta-data structure over all blocks (the paper's Figure 3:
+/// an array with one ElasticMap pointer per block file).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElasticMapArray {
+    maps: Vec<ElasticMap>,
+    policy: Separation,
+}
+
+impl ElasticMapArray {
+    /// Build the array with one parallel scan over the DFS blocks.
+    pub fn build(dfs: &Dfs, policy: &Separation) -> Self {
+        let maps = dfs
+            .blocks()
+            .par_iter()
+            .map(|b| ElasticMap::build(b, policy))
+            .collect();
+        Self {
+            maps,
+            policy: policy.clone(),
+        }
+    }
+
+    /// Sequential build (for benchmarking the parallel speedup).
+    pub fn build_sequential(dfs: &Dfs, policy: &Separation) -> Self {
+        let maps = dfs
+            .blocks()
+            .iter()
+            .map(|b| ElasticMap::build(b, policy))
+            .collect();
+        Self {
+            maps,
+            policy: policy.clone(),
+        }
+    }
+
+    /// The separation policy the array was built with.
+    pub fn policy(&self) -> &Separation {
+        &self.policy
+    }
+
+    /// Number of per-block maps.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// The map for one block.
+    pub fn map(&self, b: BlockId) -> &ElasticMap {
+        &self.maps[b.index()]
+    }
+
+    /// All per-block maps in block order.
+    pub fn maps(&self) -> &[ElasticMap] {
+        &self.maps
+    }
+
+    /// Query one `(block, sub-dataset)` cell.
+    pub fn query(&self, b: BlockId, s: SubDatasetId) -> SizeInfo {
+        self.map(b).query(s)
+    }
+
+    /// Collect the distribution view of one sub-dataset across all blocks:
+    /// τ₁ (exact blocks with sizes), τ₂ (bloom-only blocks) and δ.
+    pub fn view(&self, s: SubDatasetId) -> SubDatasetView {
+        let mut exact = Vec::new();
+        let mut bloom = Vec::new();
+        let mut delta_hint = u64::MAX;
+        for m in &self.maps {
+            match m.query(s) {
+                SizeInfo::Exact(sz) => exact.push((m.block(), sz)),
+                SizeInfo::Approximate => {
+                    bloom.push(m.block());
+                    delta_hint = delta_hint.min(m.bloom_delta_hint());
+                }
+                SizeInfo::Absent => {}
+            }
+        }
+        SubDatasetView::new(s, exact, bloom, delta_hint)
+    }
+
+    /// Total measured meta-data bytes across all blocks.
+    pub fn memory_bytes(&self) -> usize {
+        self.maps.iter().map(|m| m.memory_bytes()).sum()
+    }
+
+    /// Raw-data : meta-data ratio measured on the actual structures (the
+    /// empirical counterpart of Table II's "representation ratio").
+    pub fn representation_ratio(&self, dfs: &Dfs) -> f64 {
+        let meta = self.memory_bytes();
+        assert!(meta > 0, "meta-data must be non-empty");
+        dfs.total_bytes() as f64 / meta as f64
+    }
+
+    /// The paper's overall accuracy metric χ (Section V-B): compares the
+    /// Equation 6 estimate of *every* sub-dataset (via the union view) with
+    /// the raw data size:
+    /// `χ = 1 − |Σ_s estimate(s) − raw| / raw`.
+    pub fn accuracy(&self, dfs: &Dfs) -> f64 {
+        let raw = dfs.total_bytes();
+        assert!(raw > 0, "accuracy undefined on an empty dataset");
+        // Estimated total = Σ over blocks of (Σ exact entries + δ·bloom_len).
+        let est: f64 = self
+            .maps
+            .iter()
+            .map(|m| {
+                let exact: u64 = m.exact_entries().map(|(_, s)| s).sum();
+                let delta = m.bloom_delta_hint();
+                exact as f64 + delta as f64 * m.bloom_len() as f64
+            })
+            .sum();
+        1.0 - (est - raw as f64).abs() / raw as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datanet_dfs::{DfsConfig, Record, Topology};
+
+    /// 12 blocks; sub-dataset 7 is heavily clustered in the first blocks.
+    fn clustered_dfs() -> Dfs {
+        let mut recs = Vec::new();
+        for i in 0..3000u64 {
+            // Sub-dataset 7 dominates early timestamps, then tapers off.
+            let s = if i % 3 == 0 && i < 900 {
+                7
+            } else {
+                i % 40 + 10
+            };
+            recs.push(Record::new(SubDatasetId(s), i, 100, i));
+        }
+        let cfg = DfsConfig {
+            block_size: 25_000,
+            replication: 3,
+            topology: Topology::single_rack(8),
+            seed: 5,
+        };
+        Dfs::write_random(cfg, recs)
+    }
+
+    #[test]
+    fn parallel_and_sequential_builds_agree() {
+        let dfs = clustered_dfs();
+        let par = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        let seq = ElasticMapArray::build_sequential(&dfs, &Separation::Alpha(0.3));
+        assert_eq!(par.len(), seq.len());
+        for b in dfs.blocks() {
+            for s in 0..60u64 {
+                assert_eq!(
+                    par.query(b.id(), SubDatasetId(s)),
+                    seq.query(b.id(), SubDatasetId(s))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn view_partitions_blocks() {
+        let dfs = clustered_dfs();
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        let v = arr.view(SubDatasetId(7));
+        // τ1 and τ2 are disjoint and within the block range.
+        for (b, _) in v.exact() {
+            assert!(!v.bloom().contains(b));
+            assert!(b.index() < dfs.block_count());
+        }
+        // Sub-dataset 7 exists: the view must see it somewhere.
+        assert!(!v.exact().is_empty() || !v.bloom().is_empty());
+    }
+
+    #[test]
+    fn all_policy_view_matches_ground_truth_exactly() {
+        let dfs = clustered_dfs();
+        let arr = ElasticMapArray::build(&dfs, &Separation::All);
+        for s in [7u64, 10, 25, 49] {
+            let v = arr.view(SubDatasetId(s));
+            assert_eq!(v.estimated_total(), dfs.subdataset_total(SubDatasetId(s)));
+            assert!(v.bloom().is_empty());
+        }
+    }
+
+    #[test]
+    fn accuracy_is_perfect_under_all_policy() {
+        let dfs = clustered_dfs();
+        let arr = ElasticMapArray::build(&dfs, &Separation::All);
+        let chi = arr.accuracy(&dfs);
+        assert!((chi - 1.0).abs() < 1e-9, "χ = {chi}");
+    }
+
+    #[test]
+    fn accuracy_degrades_and_ratio_grows_as_alpha_drops() {
+        // Table II's two trends, measured on real structures.
+        let dfs = clustered_dfs();
+        let hi = ElasticMapArray::build(&dfs, &Separation::Alpha(0.51));
+        let lo = ElasticMapArray::build(&dfs, &Separation::Alpha(0.21));
+        assert!(hi.accuracy(&dfs) >= lo.accuracy(&dfs));
+        assert!(hi.representation_ratio(&dfs) <= lo.representation_ratio(&dfs));
+        for arr in [&hi, &lo] {
+            let chi = arr.accuracy(&dfs);
+            assert!((0.0..=1.0 + 1e-9).contains(&chi), "χ = {chi}");
+        }
+    }
+
+    #[test]
+    fn absent_subdataset_views_empty() {
+        let dfs = clustered_dfs();
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        let v = arr.view(SubDatasetId(999_999));
+        assert!(v.exact().is_empty());
+        // Bloom false positives are possible but rare: allow ≤ 2 blocks.
+        assert!(v.bloom().len() <= 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! Persistent, sharded meta-data storage — the scale-out path the paper
+//! defers ("as the problem size becomes extremely large, the meta-data may
+//! not be able to reside in memory. In such cases, the meta-data can be
+//! stored into a database or distributed among multiple machines",
+//! Section V-B-1).
+//!
+//! The ElasticMap array is split into fixed-size **shards** of consecutive
+//! blocks, each serialised to its own JSON file next to a manifest. Queries
+//! stream shard-by-shard with a bounded-size cache, so a dataset whose
+//! meta-data exceeds memory can still be scanned for a sub-dataset view.
+
+use crate::distribution::SubDatasetView;
+use crate::elasticmap::{ElasticMap, Separation, SizeInfo};
+use crate::scan::ElasticMapArray;
+use datanet_dfs::SubDatasetId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest describing a sharded meta-data directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Total number of per-block maps.
+    pub blocks: usize,
+    /// Blocks per shard (last shard may be short).
+    pub shard_blocks: usize,
+    /// Separation policy the maps were built with.
+    pub policy: Separation,
+    /// Format version for forward compatibility.
+    pub version: u32,
+}
+
+impl Manifest {
+    /// Number of shard files.
+    pub fn shard_count(&self) -> usize {
+        self.blocks.div_ceil(self.shard_blocks)
+    }
+}
+
+/// On-disk handle to sharded meta-data.
+#[derive(Debug)]
+pub struct MetaStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    /// Tiny FIFO cache of decoded shards: (shard index, maps).
+    cache: VecDeque<(usize, Vec<ElasticMap>)>,
+    cache_shards: usize,
+}
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+impl MetaStore {
+    /// Persist an [`ElasticMapArray`] into `dir` (created if needed) as
+    /// `manifest.json` plus `shard-NNNN.json` files of `shard_blocks`
+    /// consecutive blocks each.
+    ///
+    /// # Errors
+    /// I/O or serialisation failures.
+    ///
+    /// # Panics
+    /// Panics if `shard_blocks == 0`.
+    pub fn save(array: &ElasticMapArray, dir: &Path, shard_blocks: usize) -> io::Result<()> {
+        assert!(shard_blocks > 0, "shards must hold at least one block");
+        fs::create_dir_all(dir)?;
+        let manifest = Manifest {
+            blocks: array.len(),
+            shard_blocks,
+            policy: array.policy().clone(),
+            version: FORMAT_VERSION,
+        };
+        fs::write(
+            dir.join("manifest.json"),
+            serde_json::to_vec_pretty(&manifest)?,
+        )?;
+        for (i, chunk) in array.maps().chunks(shard_blocks).enumerate() {
+            let path = dir.join(format!("shard-{i:04}.json"));
+            fs::write(path, serde_json::to_vec(&chunk)?)?;
+        }
+        Ok(())
+    }
+
+    /// Open a persisted store with a cache of `cache_shards` decoded shards
+    /// (FIFO eviction; 0 disables caching).
+    ///
+    /// # Errors
+    /// Missing/corrupt manifest or an unsupported format version.
+    pub fn open(dir: &Path, cache_shards: usize) -> io::Result<Self> {
+        let manifest: Manifest = serde_json::from_slice(&fs::read(dir.join("manifest.json"))?)?;
+        if manifest.version != FORMAT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported meta-data version {}", manifest.version),
+            ));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            manifest,
+            cache: VecDeque::new(),
+            cache_shards,
+        })
+    }
+
+    /// The manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// Load one shard (through the cache).
+    ///
+    /// # Errors
+    /// Missing or corrupt shard file.
+    pub fn shard(&mut self, index: usize) -> io::Result<&[ElasticMap]> {
+        assert!(
+            index < self.manifest.shard_count(),
+            "shard {index} out of range"
+        );
+        if let Some(pos) = self.cache.iter().position(|(i, _)| *i == index) {
+            // Borrow-checker friendly: move to the back, then return it.
+            let entry = self.cache.remove(pos).expect("position is valid");
+            self.cache.push_back(entry);
+            return Ok(&self.cache.back().expect("just pushed").1);
+        }
+        let path = self.dir.join(format!("shard-{index:04}.json"));
+        let maps: Vec<ElasticMap> = serde_json::from_slice(&fs::read(path)?)?;
+        if self.cache_shards == 0 {
+            // No caching: keep exactly one transient slot.
+            self.cache.clear();
+            self.cache.push_back((index, maps));
+        } else {
+            while self.cache.len() >= self.cache_shards {
+                self.cache.pop_front();
+            }
+            self.cache.push_back((index, maps));
+        }
+        Ok(&self.cache.back().expect("just pushed").1)
+    }
+
+    /// Query one `(block, sub-dataset)` cell from disk.
+    ///
+    /// # Errors
+    /// Shard I/O failures.
+    pub fn query(&mut self, block: datanet_dfs::BlockId, s: SubDatasetId) -> io::Result<SizeInfo> {
+        let shard = block.index() / self.manifest.shard_blocks;
+        let offset = block.index() % self.manifest.shard_blocks;
+        Ok(self.shard(shard)?[offset].query(s))
+    }
+
+    /// Stream all shards to assemble a sub-dataset view — identical result
+    /// to [`ElasticMapArray::view`], without holding the full array in
+    /// memory.
+    ///
+    /// # Errors
+    /// Shard I/O failures.
+    pub fn view(&mut self, s: SubDatasetId) -> io::Result<SubDatasetView> {
+        let mut exact = Vec::new();
+        let mut bloom = Vec::new();
+        let mut delta_hint = u64::MAX;
+        for i in 0..self.manifest.shard_count() {
+            for m in self.shard(i)? {
+                match m.query(s) {
+                    SizeInfo::Exact(sz) => exact.push((m.block(), sz)),
+                    SizeInfo::Approximate => {
+                        bloom.push(m.block());
+                        delta_hint = delta_hint.min(m.bloom_delta_hint());
+                    }
+                    SizeInfo::Absent => {}
+                }
+            }
+        }
+        Ok(SubDatasetView::new(s, exact, bloom, delta_hint))
+    }
+
+    /// Total serialized bytes on disk (manifest + shards).
+    ///
+    /// # Errors
+    /// Directory traversal failures.
+    pub fn disk_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            total += entry?.metadata()?.len();
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datanet_dfs::{BlockId, Dfs, DfsConfig, Record, Topology};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("datanet-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_array() -> (Dfs, ElasticMapArray) {
+        let recs = (0..3000u64)
+            .map(|i| Record::new(SubDatasetId(i % 50), i, 100 + (i % 7) as u32 * 40, i));
+        let dfs = Dfs::write_random(
+            DfsConfig {
+                block_size: 12_000,
+                replication: 2,
+                topology: Topology::single_rack(6),
+                seed: 11,
+            },
+            recs,
+        );
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.4));
+        (dfs, arr)
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries_and_views() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("roundtrip");
+        MetaStore::save(&arr, &dir, 7).unwrap();
+        let mut store = MetaStore::open(&dir, 2).unwrap();
+        assert_eq!(store.manifest().blocks, arr.len());
+        for b in 0..arr.len() {
+            for s in 0..60u64 {
+                assert_eq!(
+                    store.query(BlockId(b as u32), SubDatasetId(s)).unwrap(),
+                    arr.query(BlockId(b as u32), SubDatasetId(s))
+                );
+            }
+        }
+        for s in 0..50u64 {
+            assert_eq!(
+                store.view(SubDatasetId(s)).unwrap(),
+                arr.view(SubDatasetId(s))
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_count_covers_all_blocks() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("shards");
+        MetaStore::save(&arr, &dir, 4).unwrap();
+        let store = MetaStore::open(&dir, 1).unwrap();
+        let m = store.manifest();
+        assert_eq!(m.shard_count(), arr.len().div_ceil(4));
+        assert!(store.disk_bytes().unwrap() > 0);
+        // Every shard file exists.
+        for i in 0..m.shard_count() {
+            assert!(dir.join(format!("shard-{i:04}.json")).exists());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_eviction_does_not_change_results() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("cache");
+        MetaStore::save(&arr, &dir, 3).unwrap();
+        // cache_shards = 0 (transient) and 1 (thrash) must agree.
+        let mut a = MetaStore::open(&dir, 0).unwrap();
+        let mut b = MetaStore::open(&dir, 1).unwrap();
+        for s in (0..50u64).rev() {
+            assert_eq!(
+                a.view(SubDatasetId(s)).unwrap(),
+                b.view(SubDatasetId(s)).unwrap()
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("version");
+        MetaStore::save(&arr, &dir, 8).unwrap();
+        // Corrupt the version.
+        let mut manifest: Manifest =
+            serde_json::from_slice(&fs::read(dir.join("manifest.json")).unwrap()).unwrap();
+        manifest.version = 999;
+        fs::write(
+            dir.join("manifest.json"),
+            serde_json::to_vec(&manifest).unwrap(),
+        )
+        .unwrap();
+        assert!(MetaStore::open(&dir, 1).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = tmpdir("missing");
+        assert!(MetaStore::open(&dir, 1).is_err());
+    }
+}

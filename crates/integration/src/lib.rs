@@ -1,0 +1,2 @@
+//! Cross-crate integration tests live in `/tests`; runnable examples in
+//! `/examples`. This crate only wires them into the workspace build.

@@ -1,0 +1,59 @@
+//! The memory/accuracy/balance trade-off in one place: sweep the ElasticMap
+//! α, watch the Equation 5 memory cost, the Equation 6 estimation accuracy
+//! and the resulting schedule balance move together.
+//!
+//! Run with: `cargo run --release --example schedule_planner`
+
+use datanet::prelude::*;
+use datanet_dfs::{Dfs, DfsConfig, Topology};
+use datanet_workloads::MoviesConfig;
+
+fn main() {
+    let (records, catalog) = MoviesConfig {
+        movies: 800,
+        records: 30_000,
+        ..Default::default()
+    }
+    .generate();
+    let dfs = Dfs::write_random(
+        DfsConfig {
+            block_size: 128 * 1024,
+            replication: 3,
+            topology: Topology::single_rack(12),
+            seed: 4,
+        },
+        records,
+    );
+    let hot = catalog.most_reviewed();
+    let actual = dfs.subdataset_total(hot);
+    let model = MemoryModel::default();
+
+    println!("alpha | meta bytes | est. accuracy | plan imbalance | Eq.5 bits/subdataset");
+    println!("------+------------+---------------+----------------+---------------------");
+    for pct in [5usize, 10, 20, 30, 50, 75, 100] {
+        let alpha = pct as f64 / 100.0;
+        let maps = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha));
+        let view = maps.view(hot);
+        let est = view.estimated_total();
+        let acc = 1.0 - (est as f64 - actual as f64).abs() / actual as f64;
+        let plan = Algorithm1::new(&dfs, &view).plan_balanced();
+        println!(
+            "{pct:4}% | {:10} | {:12.1}% | {:14.3} | {:19.1}",
+            maps.memory_bytes(),
+            acc * 100.0,
+            plan.imbalance(),
+            model.cost_bits(1, alpha),
+        );
+    }
+
+    // Picking α for a memory budget.
+    let budget = 64.0 * 1024.0; // 64 kB of meta-data for the whole dataset
+    let per_block = budget / dfs.block_count() as f64;
+    let mean_distinct = 40; // typical distinct sub-datasets per block here
+    let alpha = model.max_alpha_for_budget(mean_distinct, per_block);
+    println!(
+        "\nfor a {budget:.0}-byte budget ({per_block:.0} B/block), Equation 5 \
+         suggests alpha <= {:.0}%",
+        alpha * 100.0
+    );
+}

@@ -1,0 +1,76 @@
+//! Reproducibility: the whole stack — generators, DFS placement, scan,
+//! scheduling, simulation — is exactly deterministic under fixed seeds.
+
+use datanet::{ElasticMapArray, Separation};
+use datanet_analytics::profiles::word_count_profile;
+use datanet_bench::{github_dataset, movie_dataset, NODES};
+use datanet_mapreduce::{
+    run_pipeline, AnalysisConfig, DataNetScheduler, LocalityScheduler, SelectionConfig,
+};
+
+#[test]
+fn movie_pipeline_is_bitwise_reproducible() {
+    let run = || {
+        let (dfs, catalog) = movie_dataset(NODES);
+        let hot = catalog.most_reviewed();
+        let mut sched = LocalityScheduler::new(&dfs);
+        run_pipeline(
+            &dfs,
+            hot,
+            &mut sched,
+            &word_count_profile(),
+            &SelectionConfig::default(),
+            &AnalysisConfig::default(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn datanet_pipeline_is_bitwise_reproducible() {
+    let run = || {
+        let (dfs, catalog) = movie_dataset(NODES);
+        let hot = catalog.most_reviewed();
+        let view = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3)).view(hot);
+        let mut sched = DataNetScheduler::new(&dfs, &view);
+        run_pipeline(
+            &dfs,
+            hot,
+            &mut sched,
+            &word_count_profile(),
+            &SelectionConfig::default(),
+            &AnalysisConfig::default(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn parallel_scan_is_deterministic() {
+    // Rayon parallelism must not leak into results: parallel and sequential
+    // builds answer every query identically and occupy the same memory.
+    // (HashMap iteration order is instance-specific, so we compare
+    // semantics, not serialised bytes.)
+    let (dfs, catalog) = movie_dataset(NODES);
+    let par = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+    let seq = ElasticMapArray::build_sequential(&dfs, &Separation::Alpha(0.3));
+    assert_eq!(par.len(), seq.len());
+    assert_eq!(par.memory_bytes(), seq.memory_bytes());
+    for (movie, _) in catalog.by_size_desc().into_iter().take(200) {
+        for b in dfs.blocks() {
+            assert_eq!(par.query(b.id(), movie), seq.query(b.id(), movie));
+        }
+        assert_eq!(par.view(movie), seq.view(movie));
+    }
+}
+
+#[test]
+fn github_dataset_is_reproducible() {
+    let a = github_dataset(NODES);
+    let b = github_dataset(NODES);
+    assert_eq!(a.namenode(), b.namenode());
+    assert_eq!(a.total_bytes(), b.total_bytes());
+    for (ba, bb) in a.blocks().iter().zip(b.blocks()) {
+        assert_eq!(ba, bb);
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end integration: generate → store → scan → schedule → execute,
+//! asserting the paper's comparative claims hold in the reproduction.
+
+use datanet::{ElasticMapArray, Separation};
+use datanet_analytics::profiles::{
+    histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
+};
+use datanet_bench::{movie_dataset, NODES};
+use datanet_mapreduce::{
+    run_analysis, run_selection, AnalysisConfig, DataNetScheduler, LocalityScheduler,
+    SelectionConfig,
+};
+
+/// Run selection under both schedulers once (shared by several tests).
+fn both_selections() -> (
+    datanet_mapreduce::SelectionOutcome,
+    datanet_mapreduce::SelectionOutcome,
+) {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let truth = dfs.subdataset_distribution(hot);
+    let view = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3)).view(hot);
+    let sel = SelectionConfig::default();
+    let mut base = LocalityScheduler::new(&dfs);
+    let without = run_selection(&dfs, &truth, &mut base, &sel);
+    let mut dn = DataNetScheduler::new(&dfs, &view);
+    let with = run_selection(&dfs, &truth, &mut dn, &sel);
+    (without, with)
+}
+
+#[test]
+fn datanet_improves_every_job_makespan() {
+    let (without, with) = both_selections();
+    let ana = AnalysisConfig::default();
+    for job in [
+        moving_average_profile(),
+        word_count_profile(),
+        histogram_profile(),
+        top_k_profile(),
+    ] {
+        let jw = run_analysis(&without.per_node_bytes, &job, &ana);
+        let jd = run_analysis(&with.per_node_bytes, &job, &ana);
+        assert!(
+            jd.makespan_secs < jw.makespan_secs,
+            "{}: with {} !< without {}",
+            job.name,
+            jd.makespan_secs,
+            jw.makespan_secs
+        );
+    }
+}
+
+#[test]
+fn improvement_grows_with_compute_intensity() {
+    // Figure 5(a)'s ordering: MovingAverage < WordCount <= Histogram < TopK.
+    let (without, with) = both_selections();
+    let ana = AnalysisConfig::default();
+    let improvement = |job: &datanet_mapreduce::JobProfile| {
+        let jw = run_analysis(&without.per_node_bytes, job, &ana);
+        let jd = run_analysis(&with.per_node_bytes, job, &ana);
+        1.0 - jd.makespan_secs / jw.makespan_secs
+    };
+    let ma = improvement(&moving_average_profile());
+    let wc = improvement(&word_count_profile());
+    let tk = improvement(&top_k_profile());
+    assert!(ma < wc, "MovingAverage {ma} !< WordCount {wc}");
+    assert!(wc < tk, "WordCount {wc} !< TopK {tk}");
+    // Magnitudes in the paper's neighbourhood (20%–50%).
+    assert!((0.10..0.60).contains(&ma), "MA improvement {ma}");
+    assert!((0.25..0.60).contains(&tk), "TopK improvement {tk}");
+}
+
+#[test]
+fn workload_conservation_across_schedulers() {
+    let (without, with) = both_selections();
+    assert_eq!(
+        without.per_node_bytes.iter().sum::<u64>(),
+        with.per_node_bytes.iter().sum::<u64>(),
+        "both schedulers must filter exactly the same sub-dataset bytes"
+    );
+}
+
+#[test]
+fn datanet_balances_and_baseline_does_not() {
+    let (without, with) = both_selections();
+    assert!(
+        without.imbalance() > 1.5,
+        "clustered data should imbalance the baseline, got {}",
+        without.imbalance()
+    );
+    assert!(
+        with.imbalance() < 1.15,
+        "DataNet should balance within ~15%, got {}",
+        with.imbalance()
+    );
+}
+
+#[test]
+fn datanet_reads_fewer_blocks() {
+    // ElasticMap lets the selection skip blocks without target data.
+    let (without, with) = both_selections();
+    assert!(with.bytes_read <= without.bytes_read);
+    assert!(with.total_tasks <= without.total_tasks);
+}
+
+#[test]
+fn shuffle_gap_shrinks_with_datanet() {
+    // Figure 7: without DataNet the shuffle phase takes several times
+    // longer because reducers wait for straggler maps.
+    let (without, with) = both_selections();
+    let ana = AnalysisConfig::default();
+    let job = word_count_profile();
+    let jw = run_analysis(&without.per_node_bytes, &job, &ana);
+    let jd = run_analysis(&with.per_node_bytes, &job, &ana);
+    assert!(
+        jw.shuffle_summary().max() > 2.0 * jd.shuffle_summary().max(),
+        "shuffle without {} vs with {}",
+        jw.shuffle_summary().max(),
+        jd.shuffle_summary().max()
+    );
+}
+
+#[test]
+fn map_time_spread_mirrors_byte_spread() {
+    // Figure 6: per-node map times under the imbalanced selection spread by
+    // roughly the byte ratio for compute-bound jobs.
+    let (without, _) = both_selections();
+    let ana = AnalysisConfig::default();
+    let rep = run_analysis(&without.per_node_bytes, &top_k_profile(), &ana);
+    let time_ratio = rep.map_summary().max() / rep.map_summary().min();
+    assert!(
+        time_ratio > 3.0,
+        "expected a pronounced straggler, got {time_ratio}"
+    );
+}

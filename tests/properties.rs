@@ -1,0 +1,214 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithms: invariants that must hold for *any* input, not just the
+//! calibrated experiment datasets.
+
+use datanet::planner::BalancePolicy;
+use datanet::{
+    plan_aggregation, uniform_baseline_traffic, Algorithm1, BloomFilter, Buckets, ElasticMap,
+    ElasticMapArray, FordFulkersonPlanner, MetaStore, Separation, SizeInfo,
+};
+use datanet_dfs::{Block, BlockId, Dfs, DfsConfig, Record, SubDatasetId, Topology};
+use datanet_stats::GammaDist;
+use proptest::prelude::*;
+
+/// Strategy: a random small block of records.
+fn arb_block() -> impl Strategy<Value = Block> {
+    prop::collection::vec((0u64..40, 1u32..5_000, any::<u64>()), 1..200).prop_map(|specs| {
+        let records = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, size, seed))| Record::new(SubDatasetId(s), i as u64, size, seed))
+            .collect();
+        Block::new(BlockId(0), records)
+    })
+}
+
+/// Strategy: a random tiny DFS.
+fn arb_dfs() -> impl Strategy<Value = Dfs> {
+    (
+        prop::collection::vec((0u64..20, 50u32..500), 20..400),
+        2u32..12,
+        1usize..4,
+        any::<u64>(),
+    )
+        .prop_map(|(specs, nodes, replication, seed)| {
+            let records = specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, size))| Record::new(SubDatasetId(s), i as u64, size, i as u64));
+            Dfs::write_dataset(
+                DfsConfig {
+                    block_size: 2_000,
+                    replication,
+                    topology: Topology::single_rack(nodes),
+                    seed,
+                },
+                records,
+                &datanet_dfs::RandomPlacement,
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn bloom_filter_has_no_false_negatives(ids in prop::collection::hash_set(any::<u64>(), 1..500)) {
+        let mut f = BloomFilter::with_rate(ids.len(), 0.01);
+        for &id in &ids {
+            f.insert(SubDatasetId(id));
+        }
+        for &id in &ids {
+            prop_assert!(f.contains(SubDatasetId(id)));
+        }
+    }
+
+    #[test]
+    fn elasticmap_never_reports_present_as_absent(block in arb_block(), alpha in 0.0f64..=1.0) {
+        let map = ElasticMap::build(&block, &Separation::Alpha(alpha));
+        for (&id, &size) in block.subdataset_sizes().iter() {
+            prop_assert!(size > 0);
+            prop_assert_ne!(map.query(id), SizeInfo::Absent, "lost {}", id);
+        }
+    }
+
+    #[test]
+    fn elasticmap_exact_entries_are_ground_truth(block in arb_block(), alpha in 0.0f64..=1.0) {
+        let map = ElasticMap::build(&block, &Separation::Alpha(alpha));
+        let truth = block.subdataset_sizes();
+        for (id, size) in map.exact_entries() {
+            prop_assert_eq!(truth[&id], size);
+        }
+    }
+
+    #[test]
+    fn elasticmap_achieves_requested_alpha(block in arb_block(), alpha in 0.0f64..=1.0) {
+        let map = ElasticMap::build(&block, &Separation::Alpha(alpha));
+        prop_assert!(map.achieved_alpha() >= alpha - 1e-9);
+        prop_assert_eq!(map.distinct(), block.subdataset_sizes().len());
+    }
+
+    #[test]
+    fn bucket_threshold_selects_a_superset_of_top_quota(
+        sizes in prop::collection::vec(1u64..200_000, 1..300),
+        quota_frac in 0.0f64..=1.0,
+    ) {
+        let mut counter = datanet::BucketCounter::new(Buckets::paper());
+        for (i, &s) in sizes.iter().enumerate() {
+            counter.record(SubDatasetId(i as u64), s);
+        }
+        let quota = (quota_frac * sizes.len() as f64).ceil() as usize;
+        let threshold = counter.dominance_threshold(quota);
+        let selected = sizes.iter().filter(|&&s| s >= threshold).count();
+        prop_assert!(selected >= quota.min(sizes.len()),
+            "quota {} but only {} selected at threshold {}", quota, selected, threshold);
+    }
+
+    #[test]
+    fn equation6_estimate_includes_all_exact_mass(dfs in arb_dfs(), s in 0u64..20) {
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        let view = arr.view(SubDatasetId(s));
+        let exact_sum: u64 = view.exact().iter().map(|&(_, b)| b).sum();
+        prop_assert!(view.estimated_total() >= exact_sum);
+        // Every τ1/τ2 block must really be a block of the DFS.
+        for b in view.blocks() {
+            prop_assert!(b.index() < dfs.block_count());
+        }
+    }
+
+    #[test]
+    fn algorithm1_assigns_scope_exactly_once(dfs in arb_dfs(), s in 0u64..20,
+                                             literal in any::<bool>()) {
+        let arr = ElasticMapArray::build(&dfs, &Separation::All);
+        let view = arr.view(SubDatasetId(s));
+        let policy = if literal { BalancePolicy::BestFitTerminal } else { BalancePolicy::PacedGreedy };
+        let plan = Algorithm1::with_policy(dfs.namenode(), &view, policy).plan_balanced();
+        prop_assert_eq!(plan.assigned_blocks(), view.block_count());
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..plan.node_count() {
+            for &b in plan.tasks_of(datanet_dfs::NodeId(n as u32)) {
+                prop_assert!(seen.insert(b));
+            }
+        }
+        prop_assert_eq!(plan.workloads().iter().sum::<u64>(), view.estimated_total());
+    }
+
+    #[test]
+    fn ford_fulkerson_plans_are_local_and_complete(dfs in arb_dfs(), s in 0u64..20) {
+        let arr = ElasticMapArray::build(&dfs, &Separation::All);
+        let view = arr.view(SubDatasetId(s));
+        let plan = FordFulkersonPlanner::new(&dfs, &view).plan();
+        prop_assert_eq!(plan.assigned_blocks(), view.block_count());
+        for n in 0..plan.node_count() {
+            for &b in plan.tasks_of(datanet_dfs::NodeId(n as u32)) {
+                prop_assert!(dfs.namenode().is_local(b, datanet_dfs::NodeId(n as u32)));
+            }
+        }
+        // Fractional optimum is a valid lower bound.
+        let t = FordFulkersonPlanner::new(&dfs, &view).fractional_optimum();
+        prop_assert!(plan.max_workload() >= t || view.block_count() == 0);
+    }
+
+    #[test]
+    fn gamma_cdf_is_monotone_and_bounded(shape in 0.1f64..20.0, scale in 0.1f64..50.0) {
+        let g = GammaDist::new(shape, scale);
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let x = i as f64 * scale;
+            let c = g.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn aggregation_plan_is_valid_and_never_worse_than_uniform(
+        outputs in prop::collection::vec(0u64..5_000_000, 2..40),
+        reducer_frac in 0.1f64..=1.0,
+        skew in 1.0f64..4.0,
+    ) {
+        let reducers = ((outputs.len() as f64 * reducer_frac) as usize).clamp(1, outputs.len());
+        let plan = plan_aggregation(&outputs, reducers, skew);
+        plan.validate();
+        prop_assert!(plan.reduce_imbalance() <= skew + 1e-6);
+        // Placement on the richest nodes can't lose to canonical placement
+        // at the same reducer count with uniform shares.
+        let naive = uniform_baseline_traffic(&outputs, reducers);
+        let placed_uniform = plan_aggregation(&outputs, reducers, 1.0);
+        prop_assert!(placed_uniform.est_traffic <= naive);
+        // Weighted shares can't exceed the placed-uniform traffic by more
+        // than rounding.
+        prop_assert!(plan.est_traffic <= placed_uniform.est_traffic + reducers as u64);
+    }
+
+    #[test]
+    fn metastore_roundtrips_any_array(dfs in arb_dfs(), shard in 1usize..20, case in 0u64..1_000_000) {
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        let dir = std::env::temp_dir().join(format!(
+            "datanet-prop-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        MetaStore::save(&arr, &dir, shard).expect("save");
+        let mut store = MetaStore::open(&dir, 2).expect("open");
+        prop_assert_eq!(store.manifest().blocks, arr.len());
+        for s in 0..20u64 {
+            prop_assert_eq!(store.view(SubDatasetId(s)).expect("view"), arr.view(SubDatasetId(s)));
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn dfs_write_preserves_bytes_and_order(dfs in arb_dfs()) {
+        // Total bytes conserved and timestamps non-decreasing across blocks.
+        let mut last_ts = 0;
+        let mut total = 0u64;
+        for b in dfs.blocks() {
+            for r in b.records() {
+                prop_assert!(r.timestamp >= last_ts);
+                last_ts = r.timestamp;
+                total += r.size as u64;
+            }
+        }
+        prop_assert_eq!(total, dfs.total_bytes());
+    }
+}
