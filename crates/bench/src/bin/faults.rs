@@ -1,0 +1,134 @@
+//! Fault-injection sweep: how gracefully each scheduler degrades as nodes
+//! crash mid-selection.
+//!
+//! For each failure rate, random fault plans (node 0 always survives) are
+//! injected into the selection phase under both the locality baseline and
+//! DataNet. Reported per rate, averaged over seeds:
+//!
+//! * bytes recovered (credited / sub-dataset total — < 100% only when every
+//!   replica of some block died or the retry budget ran out);
+//! * post-failure workload imbalance across the *survivors*;
+//! * phase end and recovery time (first crash → completion);
+//! * re-executed tasks and wasted re-read bytes.
+//!
+//! DataNet re-plans the lost work by ElasticMap weight, so its survivor
+//! imbalance stays low while the locality baseline's drifts with whatever
+//! replica happened to be alive.
+
+use datanet::{ElasticMapArray, Separation};
+use datanet_bench::{movie_dataset, quick, Table, NODES};
+use datanet_cluster::{FaultPlan, SimTime};
+use datanet_mapreduce::{
+    run_selection, run_selection_faulty, DataNetScheduler, FaultConfig, LocalityScheduler,
+    MapScheduler, SelectionConfig, SelectionOutcome,
+};
+
+fn survivor_imbalance(out: &SelectionOutcome) -> f64 {
+    let survivors: Vec<f64> = out
+        .per_node_bytes
+        .iter()
+        .enumerate()
+        .filter(|(n, _)| !out.faults.crashed_nodes.contains(n))
+        .map(|(_, &b)| b as f64)
+        .collect();
+    let mean = survivors.iter().sum::<f64>() / survivors.len() as f64;
+    if mean == 0.0 {
+        return 1.0;
+    }
+    survivors.iter().cloned().fold(0.0, f64::max) / mean
+}
+
+struct Acc {
+    recovered: f64,
+    imbalance: f64,
+    end_secs: f64,
+    recovery_secs: f64,
+    reexecuted: f64,
+    wasted_mb: f64,
+}
+
+fn main() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let truth = dfs.subdataset_distribution(hot);
+    let total = dfs.subdataset_total(hot) as f64;
+    let view = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3)).view(hot);
+    let sel = SelectionConfig::default();
+
+    // Fault horizon: crashes land inside the healthy phase.
+    let mut probe = LocalityScheduler::new(&dfs);
+    let healthy_end = run_selection(&dfs, &truth, &mut probe, &sel).end;
+    let horizon = SimTime::from_micros(healthy_end.as_micros().max(1));
+
+    let (rates, seeds): (&[f64], u64) = if quick() {
+        (&[0.0, 0.25], 2)
+    } else {
+        (&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 5)
+    };
+
+    let run = |rate: f64, mk: &mut dyn FnMut() -> Box<dyn MapScheduler>| -> Acc {
+        let mut acc = Acc {
+            recovered: 0.0,
+            imbalance: 0.0,
+            end_secs: 0.0,
+            recovery_secs: 0.0,
+            reexecuted: 0.0,
+            wasted_mb: 0.0,
+        };
+        for seed in 0..seeds {
+            let plan = FaultPlan::random(NODES as usize, 0xFA01 + seed, rate, horizon);
+            let mut sched = mk();
+            let out =
+                run_selection_faulty(&dfs, &truth, sched.as_mut(), &sel, &FaultConfig::new(plan));
+            acc.recovered += out.per_node_bytes.iter().sum::<u64>() as f64 / total;
+            acc.imbalance += survivor_imbalance(&out);
+            acc.end_secs += out.end.as_secs_f64();
+            acc.recovery_secs += out.faults.recovery_secs;
+            acc.reexecuted += out.faults.reexecuted_tasks as f64;
+            acc.wasted_mb += out.faults.wasted_bytes_read as f64 / (1024.0 * 1024.0);
+        }
+        let n = seeds as f64;
+        acc.recovered /= n;
+        acc.imbalance /= n;
+        acc.end_secs /= n;
+        acc.recovery_secs /= n;
+        acc.reexecuted /= n;
+        acc.wasted_mb /= n;
+        acc
+    };
+
+    println!("== Fault sweep: crash rate vs recovery ({NODES} nodes, {seeds} seeds/rate) ==");
+    let mut t = Table::new([
+        "crash rate",
+        "sched",
+        "recovered",
+        "survivor max/avg",
+        "phase (s)",
+        "recovery (s)",
+        "re-exec tasks",
+        "wasted MB",
+    ]);
+    for &rate in rates {
+        let loc = run(rate, &mut || Box::new(LocalityScheduler::new(&dfs)));
+        let dn = run(rate, &mut || Box::new(DataNetScheduler::new(&dfs, &view)));
+        for (name, a) in [("locality", &loc), ("datanet", &dn)] {
+            t.row([
+                format!("{rate:.2}"),
+                name.to_string(),
+                format!("{:.1}%", a.recovered * 100.0),
+                format!("{:.3}", a.imbalance),
+                format!("{:.2}", a.end_secs),
+                format!("{:.2}", a.recovery_secs),
+                format!("{:.1}", a.reexecuted),
+                format!("{:.1}", a.wasted_mb),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nDataNet re-plans lost work by ElasticMap weight: its survivor imbalance stays\n\
+         near the fault-free optimum while the locality baseline degrades with luck of\n\
+         the surviving replicas. Recovery < 100% appears only when every replica of a\n\
+         block died (reported, never silently dropped)."
+    );
+}

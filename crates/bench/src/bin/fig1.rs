@@ -6,18 +6,19 @@
 //! (b) Filtered-workload distribution over a 32-node cluster under
 //!     Hadoop's default block-locality scheduling: heavily imbalanced.
 
-use datanet_bench::{movie_dataset, Table, NODES};
+use datanet_bench::{movie_dataset, quick, Table, NODES};
 use datanet_mapreduce::{run_selection, LocalityScheduler, SelectionConfig};
 
 fn main() {
     let (dfs, catalog) = movie_dataset(NODES);
     let hot = catalog.most_reviewed();
     let dist = dfs.subdataset_distribution(hot);
+    let shown = if quick() { 32 } else { 128 };
 
     println!("== Figure 1(a): sub-dataset distribution over HDFS blocks ==");
-    println!("(movie {hot}, bytes per block, first 128 blocks)");
+    println!("(movie {hot}, bytes per block, first {shown} blocks)");
     let mut t = Table::new(["block", "kB"]);
-    for (i, b) in dist.iter().take(128).enumerate() {
+    for (i, b) in dist.iter().take(shown).enumerate() {
         t.row([i.to_string(), format!("{:.1}", *b as f64 / 1024.0)]);
     }
     t.print();

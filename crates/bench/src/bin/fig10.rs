@@ -8,7 +8,7 @@
 //! will have little effect".
 
 use datanet::{ElasticMapArray, Separation};
-use datanet_bench::{movie_dataset, Table, NODES};
+use datanet_bench::{movie_dataset, quick, Table, NODES};
 use datanet_mapreduce::{run_selection, DataNetScheduler, SelectionConfig};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
 
     println!("== Figure 10: workload balance vs alpha (normalised by max) ==");
     let mut t = Table::new(["alpha", "max", "min", "avg", "std dev"]);
-    for pct in (10..=100).step_by(5) {
+    for pct in (10..=100).step_by(if quick() { 15 } else { 5 }) {
         let alpha = pct as f64 / 100.0;
         let view = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha)).view(hot);
         let mut dn = DataNetScheduler::new(&dfs, &view);

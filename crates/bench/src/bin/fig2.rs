@@ -6,7 +6,7 @@
 //!
 //! Also prints the expected node counts at m = 128 that the paper quotes.
 
-use datanet_bench::Table;
+use datanet_bench::{quick, Table};
 use datanet_stats::{GammaDist, ImbalanceModel};
 
 fn main() {
@@ -14,7 +14,12 @@ fn main() {
 
     println!("== Figure 2 (left): tail probabilities vs cluster size ==");
     println!("(Z ~ Γ(nk/m, θ), k=1.2, θ=7, n=512)");
-    let sizes = [2usize, 4, 8, 16, 32, 64, 96, 128, 192, 256, 384, 512];
+    let sizes: &[usize] = if quick() {
+        &[2, 32, 128, 512]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 96, 128, 192, 256, 384, 512]
+    };
+    let sizes = sizes.iter().copied();
     let mut t = Table::new(["nodes", "P(Z<E/3)", "P(Z<E/2)", "P(Z>2E)", "P(Z>3E)"]);
     for row in model.series(sizes) {
         t.row([
@@ -30,7 +35,7 @@ fn main() {
     println!("\n== Figure 2 (right): Γ(1.2, 7) density ==");
     let g = GammaDist::new(1.2, 7.0);
     let mut t = Table::new(["x", "pdf"]);
-    for i in 0..=30 {
+    for i in (0..=30).step_by(if quick() { 5 } else { 1 }) {
         let x = i as f64;
         t.row([format!("{x:.0}"), format!("{:.4}", g.pdf(x))]);
     }

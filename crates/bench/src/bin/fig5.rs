@@ -10,7 +10,7 @@ use datanet::{ElasticMapArray, Separation};
 use datanet_analytics::profiles::{
     histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
 };
-use datanet_bench::{movie_dataset, Table, NODES};
+use datanet_bench::{movie_dataset, quick, Table, NODES};
 use datanet_mapreduce::{
     run_analysis, run_selection, AnalysisConfig, DataNetScheduler, LocalityScheduler,
     SelectionConfig,
@@ -64,9 +64,10 @@ fn main() {
     t.print();
     println!("(paper: 20% / 39.1% / 40.6% / 42%)\n");
 
-    println!("== Figure 5(b): size of data over HDFS blocks (kB, first 64 blocks) ==");
+    let shown = if quick() { 16 } else { 64 };
+    println!("== Figure 5(b): size of data over HDFS blocks (kB, first {shown} blocks) ==");
     let mut t = Table::new(["block", "kB"]);
-    for (i, b) in truth.iter().take(64).enumerate() {
+    for (i, b) in truth.iter().take(shown).enumerate() {
         t.row([i.to_string(), format!("{:.1}", *b as f64 / 1024.0)]);
     }
     t.print();

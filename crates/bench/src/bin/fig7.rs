@@ -7,7 +7,7 @@
 
 use datanet::{ElasticMapArray, Separation};
 use datanet_analytics::profiles::{top_k_profile, word_count_profile};
-use datanet_bench::{movie_dataset, Table, NODES};
+use datanet_bench::{movie_dataset, quick, Table, NODES};
 use datanet_mapreduce::{
     run_analysis, run_selection, AnalysisConfig, DataNetScheduler, LocalityScheduler,
     SelectionConfig,
@@ -29,7 +29,12 @@ fn main() {
     println!("== Figure 7: shuffle execution time (s), min/avg/max ==");
     let mut t = Table::new(["job", "variant", "min", "avg", "max"]);
     let mut ratios = Vec::new();
-    for profile in [word_count_profile(), top_k_profile()] {
+    let profiles = if quick() {
+        vec![word_count_profile()]
+    } else {
+        vec![word_count_profile(), top_k_profile()]
+    };
+    for profile in profiles {
         let jw = run_analysis(&without.per_node_bytes, &profile, &ana);
         let jd = run_analysis(&with.per_node_bytes, &profile, &ana);
         for (name, rep) in [("without DataNet", &jw), ("with DataNet", &jd)] {

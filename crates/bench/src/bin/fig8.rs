@@ -10,7 +10,7 @@
 
 use datanet::{ElasticMapArray, Separation};
 use datanet_analytics::profiles::top_k_profile;
-use datanet_bench::{github_dataset, Table, NODES};
+use datanet_bench::{github_dataset, quick, Table, NODES};
 use datanet_mapreduce::{
     run_analysis, run_selection, AnalysisConfig, DataNetScheduler, LocalityScheduler,
     SelectionConfig,
@@ -22,9 +22,10 @@ fn main() {
     let issue = EventType::Issue.id();
     let truth = dfs.subdataset_distribution(issue);
 
-    println!("== Figure 8(a): IssueEvent bytes over the first 128 blocks (kB) ==");
+    let shown = if quick() { 32 } else { 128 };
+    println!("== Figure 8(a): IssueEvent bytes over the first {shown} blocks (kB) ==");
     let mut t = Table::new(["block", "kB"]);
-    for (i, b) in truth.iter().take(128).enumerate() {
+    for (i, b) in truth.iter().take(shown).enumerate() {
         t.row([i.to_string(), format!("{:.1}", *b as f64 / 1024.0)]);
     }
     t.print();

@@ -8,7 +8,7 @@
 //! them to cause imbalanced computing".
 
 use datanet::{ElasticMapArray, Separation};
-use datanet_bench::{movie_dataset, Table, NODES};
+use datanet_bench::{movie_dataset, quick, Table, NODES};
 
 fn main() {
     let (dfs, catalog) = movie_dataset(NODES);
@@ -20,7 +20,10 @@ fn main() {
     let mut t = Table::new(["rank", "movie", "actual kB", "estimated kB", "accuracy"]);
     let mut large_accs = Vec::new();
     let mut small_accs = Vec::new();
-    let sampled: Vec<usize> = (0..30).chain((30..ranked.len()).step_by(50)).collect();
+    let (top, tail_step) = if quick() { (10, 200) } else { (30, 50) };
+    let sampled: Vec<usize> = (0..top)
+        .chain((top..ranked.len()).step_by(tail_step))
+        .collect();
     for rank in sampled {
         let (movie, actual) = ranked[rank];
         if actual == 0 {

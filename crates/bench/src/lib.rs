@@ -18,3 +18,10 @@ pub mod table;
 
 pub use setup::{github_dataset, movie_dataset, MOVIE_BLOCKS, NODES};
 pub use table::Table;
+
+/// Whether the binary was invoked with `--quick`: CI smoke mode. Binaries
+/// shrink their sweeps (fewer seeds, smaller clusters, fewer rows) so every
+/// figure exercises its full code path in a couple of seconds.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -13,6 +13,9 @@ use crate::time::SimTime;
 pub struct SimCluster {
     nodes: Vec<SimNode>,
     specs: Vec<NodeSpec>,
+    /// `up[i]` — whether node `i` is still alive (fault injection marks
+    /// crashed nodes down; a down node must not source or sink work).
+    up: Vec<bool>,
 }
 
 impl SimCluster {
@@ -39,6 +42,7 @@ impl SimCluster {
         Self {
             nodes: specs.iter().map(|&s| SimNode::new(s)).collect(),
             specs: specs.to_vec(),
+            up: vec![true; specs.len()],
         }
     }
 
@@ -84,9 +88,28 @@ impl SimCluster {
         &self.nodes[i]
     }
 
+    /// Mark node `i` as crashed. Its timelines stop accepting work through
+    /// [`SimCluster::transfer`]; the engine must stop routing tasks to it.
+    pub fn set_down(&mut self, i: usize) {
+        self.up[i] = false;
+    }
+
+    /// Whether node `i` is still alive.
+    pub fn is_up(&self, i: usize) -> bool {
+        self.up[i]
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+
     /// Transfer `bytes` from node `src` to node `dst`, ready at `ready`.
     /// Returns `(start, end)`. Local "transfers" (src == dst) are free —
     /// the engine models local disk I/O separately.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has been marked down.
     pub fn transfer(
         &mut self,
         src: usize,
@@ -94,6 +117,10 @@ impl SimCluster {
         ready: SimTime,
         bytes: u64,
     ) -> (SimTime, SimTime) {
+        assert!(
+            self.up[src] && self.up[dst],
+            "transfer touches a crashed node ({src} -> {dst})"
+        );
         if src == dst || bytes == 0 {
             return (ready, ready);
         }
@@ -120,11 +147,12 @@ impl SimCluster {
             .unwrap_or(SimTime::ZERO)
     }
 
-    /// Reset every node to idle.
+    /// Reset every node to idle and alive.
     pub fn reset(&mut self) {
         for n in &mut self.nodes {
             n.reset();
         }
+        self.up.fill(true);
     }
 }
 
@@ -200,6 +228,27 @@ mod tests {
         assert_eq!(c.quiescent_at(), SimTime::from_secs(5));
         c.reset();
         assert_eq!(c.quiescent_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn down_nodes_are_tracked_and_reset_revives() {
+        let mut c = tiny();
+        assert_eq!(c.alive_count(), 3);
+        c.set_down(1);
+        assert!(!c.is_up(1));
+        assert!(c.is_up(0));
+        assert_eq!(c.alive_count(), 2);
+        c.reset();
+        assert!(c.is_up(1));
+        assert_eq!(c.alive_count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn transfer_to_crashed_node_panics() {
+        let mut c = tiny();
+        c.set_down(2);
+        c.transfer(0, 2, SimTime::ZERO, 100);
     }
 
     #[test]

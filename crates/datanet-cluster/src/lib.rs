@@ -20,12 +20,14 @@
 
 pub mod cluster;
 pub mod event;
+pub mod fault;
 pub mod node;
 pub mod resource;
 pub mod time;
 
 pub use cluster::SimCluster;
 pub use event::EventQueue;
+pub use fault::{FaultPlan, SlowWindow};
 pub use node::{NodeSpec, SimNode};
 pub use resource::Timeline;
 pub use time::SimTime;

@@ -162,6 +162,18 @@ impl Dfs {
     pub fn replicas(&self, b: BlockId) -> &[NodeId] {
         self.namenode.replicas(b)
     }
+
+    /// Replicas of `b` on nodes still alive under `alive` (delegates to the
+    /// NameNode).
+    pub fn surviving_replicas(&self, b: BlockId, alive: &[bool]) -> Vec<NodeId> {
+        self.namenode.surviving_replicas(b, alive)
+    }
+
+    /// Blocks with no surviving replica under `alive` (delegates to the
+    /// NameNode).
+    pub fn lost_blocks(&self, alive: &[bool]) -> Vec<BlockId> {
+        self.namenode.lost_blocks(alive)
+    }
 }
 
 #[cfg(test)]

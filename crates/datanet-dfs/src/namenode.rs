@@ -82,6 +82,29 @@ impl NameNode {
             .enumerate()
             .map(|(i, locs)| (BlockId(i as u32), locs.as_slice()))
     }
+
+    /// Replica locations of `b` that are still alive under `alive`
+    /// (indexed by node). Replicas on nodes outside the mask count as dead.
+    pub fn surviving_replicas(&self, b: BlockId, alive: &[bool]) -> Vec<NodeId> {
+        self.replicas(b)
+            .iter()
+            .copied()
+            .filter(|n| alive.get(n.index()).copied().unwrap_or(false))
+            .collect()
+    }
+
+    /// Blocks that have lost *every* replica under `alive` — data the
+    /// cluster can no longer serve. HDFS reports these as "missing blocks";
+    /// the fault-tolerant engine refuses to silently drop them.
+    pub fn lost_blocks(&self, alive: &[bool]) -> Vec<BlockId> {
+        self.iter()
+            .filter(|(_, locs)| {
+                locs.iter()
+                    .all(|n| !alive.get(n.index()).copied().unwrap_or(false))
+            })
+            .map(|(b, _)| b)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +139,31 @@ mod tests {
         let nn = sample();
         assert_eq!(nn.replicas(BlockId(0)).len(), 3);
         assert_eq!(nn.replicas(BlockId(2)).len(), 2);
+    }
+
+    #[test]
+    fn surviving_replicas_excludes_dead_nodes() {
+        let nn = sample();
+        let alive = [true, false, true, false];
+        assert_eq!(
+            nn.surviving_replicas(BlockId(0), &alive),
+            vec![NodeId(0), NodeId(2)]
+        );
+        assert_eq!(nn.surviving_replicas(BlockId(1), &alive), vec![NodeId(2)]);
+        // Block 2 lives on nodes 0 and 3; only 0 survives.
+        assert_eq!(nn.surviving_replicas(BlockId(2), &alive), vec![NodeId(0)]);
+        assert!(nn.lost_blocks(&alive).is_empty());
+    }
+
+    #[test]
+    fn lost_blocks_reports_fully_dead_blocks() {
+        let nn = sample();
+        // Kill nodes 0 and 3: block 2 (replicas on 0, 3) loses everything.
+        let alive = [false, true, true, false];
+        assert_eq!(nn.lost_blocks(&alive), vec![BlockId(2)]);
+        assert!(nn.surviving_replicas(BlockId(2), &alive).is_empty());
+        // Nothing survives an all-dead cluster.
+        assert_eq!(nn.lost_blocks(&[false; 4]).len(), 3);
     }
 
     #[test]

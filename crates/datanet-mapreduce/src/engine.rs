@@ -20,11 +20,11 @@
 //! and the reason imbalanced maps inflate shuffle times 4–5× in Figure 7.
 
 use crate::job::JobProfile;
-use crate::report::{ExecutionReport, JobReport, SelectionOutcome};
+use crate::report::{ExecutionReport, FaultStats, JobReport, SelectionOutcome};
 use crate::scheduler::MapScheduler;
 use datanet::AggregationPlan;
-use datanet_cluster::{EventQueue, NodeSpec, SimCluster, SimTime};
-use datanet_dfs::{Dfs, NodeId, SubDatasetId};
+use datanet_cluster::{EventQueue, FaultPlan, NodeSpec, SimCluster, SimTime};
+use datanet_dfs::{BlockId, Dfs, NodeId, SubDatasetId};
 
 /// Fixed per-task cost (scheduling heartbeat, JVM reuse, commit) — Hadoop
 /// charges ~1 s per task; scaled here by the same 256× factor as the
@@ -136,32 +136,8 @@ pub fn run_selection(
             continue;
         };
         let block_bytes = dfs.block(block).bytes();
-        // Disk read of the whole block; non-local reads also cross the
-        // network — at NIC speed when a replica lives on this rack, at the
-        // (possibly oversubscribed) cross-rack rate otherwise.
-        let mut dur = cfg.task_overhead + SimTime::for_bytes(block_bytes, cfg.spec.disk_bps);
-        if !local {
-            let topo = &dfs.config().topology;
-            let rack_local = dfs.replicas(block).iter().any(|&h| topo.same_rack(h, node));
-            let rate = if rack_local {
-                cfg.spec.nic_bps
-            } else {
-                cfg.cross_rack_bps
-            };
-            dur += SimTime::for_bytes(block_bytes, rate);
-        }
-        // Scan CPU over the whole block, then write the filtered records to
-        // the local partition.
         let filtered = truth[block.index()];
-        dur += SimTime::for_bytes(
-            (block_bytes as f64 * cfg.scan_factor).ceil() as u64,
-            cfg.spec.cpu_bps,
-        );
-        dur += SimTime::for_bytes(
-            (filtered as f64 * cfg.filtered_cost_factor).ceil() as u64,
-            cfg.spec.disk_bps,
-        );
-
+        let dur = map_task_duration(dfs, block, node, local, filtered, cfg, 1.0);
         let end = now + dur;
         per_node_bytes[node.index()] += filtered;
         tasks_per_node[node.index()] += 1;
@@ -185,6 +161,273 @@ pub fn run_selection(
         local_tasks,
         total_tasks,
         bytes_read,
+        faults: FaultStats::default(),
+    }
+}
+
+/// Cost of one selection map task: disk read of the whole block, a NIC hop
+/// for non-local reads (degraded by `nic_fraction` under fault injection,
+/// at the cross-rack rate when no replica shares the reader's rack), scan
+/// CPU over the block, and the sort/spill of the filtered bytes.
+fn map_task_duration(
+    dfs: &Dfs,
+    block: BlockId,
+    node: NodeId,
+    local: bool,
+    filtered: u64,
+    cfg: &SelectionConfig,
+    nic_fraction: f64,
+) -> SimTime {
+    let block_bytes = dfs.block(block).bytes();
+    let mut dur = cfg.task_overhead + SimTime::for_bytes(block_bytes, cfg.spec.disk_bps);
+    if !local {
+        let topo = &dfs.config().topology;
+        let rack_local = dfs.replicas(block).iter().any(|&h| topo.same_rack(h, node));
+        let rate = if rack_local {
+            cfg.spec.nic_bps
+        } else {
+            cfg.cross_rack_bps
+        };
+        let rate = ((rate as f64) * nic_fraction).max(1.0) as u64;
+        dur += SimTime::for_bytes(block_bytes, rate);
+    }
+    dur += SimTime::for_bytes(
+        (block_bytes as f64 * cfg.scan_factor).ceil() as u64,
+        cfg.spec.cpu_bps,
+    );
+    dur += SimTime::for_bytes(
+        (filtered as f64 * cfg.filtered_cost_factor).ceil() as u64,
+        cfg.spec.disk_bps,
+    );
+    dur
+}
+
+/// Stretch a duration by a slowdown factor (≥ 1).
+fn stretch(dur: SimTime, factor: f64) -> SimTime {
+    if factor == 1.0 {
+        dur
+    } else {
+        SimTime::from_micros((dur.as_micros() as f64 * factor).ceil() as u64)
+    }
+}
+
+/// Fault-injection parameters for a selection run.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// The scripted fault schedule.
+    pub plan: FaultPlan,
+    /// How many times a block may be *re*-executed after crashes before the
+    /// engine gives up on it (Hadoop's `mapreduce.map.maxattempts` − 1).
+    pub max_retries: u32,
+}
+
+impl FaultConfig {
+    /// A plan with the default Hadoop-like retry budget of 3.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            max_retries: 3,
+        }
+    }
+}
+
+/// Events driving the fault-tolerant selection loop.
+enum FaultEvent {
+    /// A map slot on this node freed up (task completion or initial token).
+    Slot(NodeId),
+    /// The scripted crash of a node fires.
+    Crash(NodeId),
+}
+
+/// Run the selection phase under fault injection.
+///
+/// Differs from [`run_selection`] in exactly the ways a fail-stop fault
+/// model demands:
+///
+/// * filtered bytes are credited at task **completion**, not at grant —
+///   a task in flight when its node dies contributes nothing;
+/// * when a node crashes, its in-flight tasks *and* its completed filtered
+///   partitions are lost. Every affected block with a surviving replica is
+///   re-enqueued via [`MapScheduler::node_lost`] and re-executed (charged
+///   full re-read cost); blocks whose replicas all died are reported in
+///   [`FaultStats::unrecoverable_blocks`], and blocks exceeding the retry
+///   budget in [`FaultStats::abandoned_blocks`];
+/// * transient slow-node windows stretch task durations; NIC degradation
+///   slows remote reads;
+/// * nodes that went idle (scheduler drained) are woken again when a crash
+///   requeues work.
+///
+/// The run is deterministic for a fixed `FaultPlan` and scheduler state.
+pub fn run_selection_faulty(
+    dfs: &Dfs,
+    truth: &[u64],
+    scheduler: &mut dyn MapScheduler,
+    cfg: &SelectionConfig,
+    faults: &FaultConfig,
+) -> SelectionOutcome {
+    assert_eq!(
+        truth.len(),
+        dfs.block_count(),
+        "ground-truth vector must cover every block"
+    );
+    cfg.spec.validate();
+    assert!(cfg.slots_per_node > 0, "need at least one slot per node");
+    let m = dfs.config().topology.len();
+    assert_eq!(
+        faults.plan.nodes(),
+        m,
+        "fault plan sized for another cluster"
+    );
+
+    let mut per_node_bytes = vec![0u64; m];
+    let mut tasks_per_node = vec![0usize; m];
+    let mut per_node_end = vec![SimTime::ZERO; m];
+    let mut local_tasks = 0usize;
+    let mut total_tasks = 0usize;
+    let mut bytes_read = 0u64;
+    let mut stats = FaultStats::default();
+
+    let mut alive = vec![true; m];
+    // Blocks whose filtered output currently lives on node n.
+    let mut done: Vec<Vec<BlockId>> = vec![Vec::new(); m];
+    // Tasks running on node n: (block, was_local, completes_at).
+    let mut in_flight: Vec<Vec<(BlockId, bool, SimTime)>> = vec![Vec::new(); m];
+    // Slot tokens parked because the scheduler had nothing left; a crash
+    // that requeues work revives them.
+    let mut parked = vec![0u32; m];
+    // Executions started per block (first run + retries).
+    let mut attempts = vec![0u32; dfs.block_count()];
+    let mut first_crash: Option<SimTime> = None;
+
+    let mut events: EventQueue<FaultEvent> = EventQueue::new();
+    for (t, node) in faults.plan.crash_events() {
+        events.push(t, FaultEvent::Crash(NodeId(node as u32)));
+    }
+    for _ in 0..cfg.slots_per_node {
+        for n in 0..m {
+            events.push(SimTime::ZERO, FaultEvent::Slot(NodeId(n as u32)));
+        }
+    }
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            FaultEvent::Crash(dead) => {
+                alive[dead.index()] = false;
+                first_crash.get_or_insert(now);
+                stats.crashed_nodes.push(dead.index());
+                per_node_end[dead.index()] = now;
+                // Everything the node produced or was producing is gone.
+                per_node_bytes[dead.index()] = 0;
+                tasks_per_node[dead.index()] = 0;
+                let casualties: Vec<BlockId> = done[dead.index()]
+                    .drain(..)
+                    .chain(in_flight[dead.index()].drain(..).map(|(b, _, _)| b))
+                    .collect();
+                // Triage: re-enqueue what survivors can serve, report the rest.
+                let mut requeue = Vec::new();
+                for b in casualties {
+                    if dfs.surviving_replicas(b, &alive).is_empty() {
+                        stats.unrecoverable_blocks.push(b);
+                    } else if attempts[b.index()] > faults.max_retries {
+                        stats.abandoned_blocks.push(b);
+                    } else {
+                        requeue.push(b);
+                    }
+                }
+                stats.requeued_tasks += requeue.len();
+                scheduler.node_lost(dead, &requeue);
+                // Wake idle survivors: new work just appeared.
+                if !requeue.is_empty() {
+                    for (n, tokens) in parked.iter_mut().enumerate() {
+                        for _ in 0..*tokens {
+                            events.push(now, FaultEvent::Slot(NodeId(n as u32)));
+                        }
+                        *tokens = 0;
+                    }
+                }
+            }
+            FaultEvent::Slot(node) => {
+                if !alive[node.index()] {
+                    // The token belonged to a node that died; drop it.
+                    continue;
+                }
+                // Complete the task this token was running, if any.
+                if let Some(pos) = in_flight[node.index()]
+                    .iter()
+                    .position(|&(_, _, e)| e == now)
+                {
+                    let (block, local, _) = in_flight[node.index()].remove(pos);
+                    done[node.index()].push(block);
+                    per_node_bytes[node.index()] += truth[block.index()];
+                    tasks_per_node[node.index()] += 1;
+                    bytes_read += dfs.block(block).bytes();
+                    total_tasks += 1;
+                    if local {
+                        local_tasks += 1;
+                    }
+                    per_node_end[node.index()] = now;
+                }
+                // Ask for the next task.
+                let Some((block, local)) = scheduler.next_task(node) else {
+                    if scheduler.remaining() > 0 {
+                        events.push(
+                            now + cfg.task_overhead.max(SimTime::from_millis(1)),
+                            FaultEvent::Slot(node),
+                        );
+                    } else {
+                        per_node_end[node.index()] = per_node_end[node.index()].max(now);
+                        parked[node.index()] += 1;
+                    }
+                    continue;
+                };
+                if dfs.surviving_replicas(block, &alive).is_empty() {
+                    // Every replica died while the block sat in the pool:
+                    // nothing can serve the read. Report it and keep the
+                    // token cycling (next_task advanced, so this terminates).
+                    stats.unrecoverable_blocks.push(block);
+                    events.push(now, FaultEvent::Slot(node));
+                    continue;
+                }
+                if attempts[block.index()] > 0 {
+                    stats.reexecuted_tasks += 1;
+                    stats.wasted_bytes_read += dfs.block(block).bytes();
+                }
+                attempts[block.index()] += 1;
+                let dur = map_task_duration(
+                    dfs,
+                    block,
+                    node,
+                    local,
+                    truth[block.index()],
+                    cfg,
+                    faults.plan.nic_fraction(node.index()),
+                );
+                let dur = stretch(dur, faults.plan.slow_factor(node.index(), now));
+                let end = now + dur;
+                in_flight[node.index()].push((block, local, end));
+                events.push(end, FaultEvent::Slot(node));
+            }
+        }
+    }
+    debug_assert!(
+        scheduler.remaining() == 0 || alive.iter().all(|&a| !a),
+        "engine drained the scheduler or lost every node"
+    );
+
+    let end = per_node_end.iter().copied().max().unwrap_or(SimTime::ZERO);
+    stats.recovery_secs = first_crash
+        .map(|c| end.saturating_sub(c).as_secs_f64())
+        .unwrap_or(0.0);
+    SelectionOutcome {
+        scheduler: scheduler.name().to_string(),
+        per_node_bytes,
+        tasks_per_node,
+        per_node_end,
+        end,
+        local_tasks,
+        total_tasks,
+        bytes_read,
+        faults: stats,
     }
 }
 
@@ -366,6 +609,64 @@ pub fn run_pipeline(
     let truth = dfs.subdataset_distribution(subdataset);
     let selection = run_selection(dfs, &truth, scheduler, sel_cfg);
     let job = run_analysis(&selection.per_node_bytes, job, ana_cfg);
+    ExecutionReport { selection, job }
+}
+
+/// Run one analysis job over partitions when some nodes are dead: reducers
+/// are placed only on survivors (uniform shares among them). Dead nodes
+/// must hold empty partitions — the fault-tolerant selection rebuilt their
+/// data on survivors — so they contribute no map output and no shuffle
+/// traffic.
+///
+/// # Panics
+/// Panics if a dead node still holds filtered bytes or no node survives.
+pub fn run_analysis_surviving(
+    filtered: &[u64],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    alive: &[bool],
+) -> JobReport {
+    let m = filtered.len();
+    assert_eq!(m, alive.len(), "one liveness flag per partition");
+    let survivors: Vec<NodeId> = (0..m)
+        .filter(|&n| alive[n])
+        .map(|n| NodeId(n as u32))
+        .collect();
+    assert!(!survivors.is_empty(), "no surviving node to analyse on");
+    for (n, &bytes) in filtered.iter().enumerate() {
+        assert!(
+            alive[n] || bytes == 0,
+            "dead node {n} still credited with {bytes} filtered bytes"
+        );
+    }
+    let share = 1.0 / survivors.len() as f64;
+    let plan = AggregationPlan {
+        shares: vec![share; survivors.len()],
+        reducers: survivors,
+        est_traffic: 0,
+    };
+    run_analysis_aggregated(filtered, profile, cfg, &plan)
+}
+
+/// Full pipeline under fault injection: fault-tolerant selection of
+/// `subdataset`, then `job` over the filtered partitions with reducers on
+/// the surviving nodes only.
+pub fn run_pipeline_faulty(
+    dfs: &Dfs,
+    subdataset: SubDatasetId,
+    scheduler: &mut dyn MapScheduler,
+    job: &JobProfile,
+    sel_cfg: &SelectionConfig,
+    ana_cfg: &AnalysisConfig,
+    faults: &FaultConfig,
+) -> ExecutionReport {
+    let truth = dfs.subdataset_distribution(subdataset);
+    let selection = run_selection_faulty(dfs, &truth, scheduler, sel_cfg, faults);
+    let m = dfs.config().topology.len();
+    let alive: Vec<bool> = (0..m)
+        .map(|n| !selection.faults.crashed_nodes.contains(&n))
+        .collect();
+    let job = run_analysis_surviving(&selection.per_node_bytes, job, ana_cfg, &alive);
     ExecutionReport { selection, job }
 }
 
@@ -742,5 +1043,214 @@ mod tests {
         let dfs = clustered_dfs(4);
         let mut sched = LocalityScheduler::new(&dfs);
         run_selection(&dfs, &[1, 2, 3], &mut sched, &SelectionConfig::default());
+    }
+
+    #[test]
+    fn fault_free_plan_matches_healthy_engine() {
+        let dfs = clustered_dfs(8);
+        let truth = dfs.subdataset_distribution(SubDatasetId(0));
+        let cfg = SelectionConfig::default();
+        let mut a = LocalityScheduler::new(&dfs);
+        let healthy = run_selection(&dfs, &truth, &mut a, &cfg);
+        let mut b = LocalityScheduler::new(&dfs);
+        let faults = FaultConfig::new(datanet_cluster::FaultPlan::none(8));
+        let faulty = run_selection_faulty(&dfs, &truth, &mut b, &cfg, &faults);
+        assert_eq!(healthy, faulty, "empty fault plan must not perturb a run");
+    }
+
+    #[test]
+    fn crash_mid_selection_credits_bytes_exactly_once() {
+        let dfs = clustered_dfs(8);
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let cfg = SelectionConfig::default();
+        let mut probe = LocalityScheduler::new(&dfs);
+        let healthy = run_selection(&dfs, &truth, &mut probe, &cfg);
+        let crash_at = SimTime::from_micros(healthy.end.as_micros() / 2);
+
+        let plan = datanet_cluster::FaultPlan::none(8).crash(3, crash_at);
+        let mut sched = LocalityScheduler::new(&dfs);
+        let out = run_selection_faulty(&dfs, &truth, &mut sched, &cfg, &FaultConfig::new(plan));
+        assert_eq!(out.faults.crashed_nodes, vec![3]);
+        assert_eq!(out.per_node_bytes[3], 0, "the dead node keeps nothing");
+        assert_eq!(out.tasks_per_node[3], 0);
+        assert_eq!(
+            out.per_node_bytes.iter().sum::<u64>(),
+            dfs.subdataset_total(s),
+            "every sub-dataset byte is credited exactly once despite the crash"
+        );
+        assert!(out.faults.requeued_tasks > 0, "mid-phase crash loses work");
+        assert_eq!(out.faults.reexecuted_tasks, out.faults.requeued_tasks);
+        assert!(out.faults.wasted_bytes_read > 0);
+        assert!(
+            out.faults.unrecoverable_blocks.is_empty(),
+            "3-way replication"
+        );
+        assert!(out.faults.recovery_secs > 0.0);
+        assert!(out.end > healthy.end, "recovery costs time");
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic_for_fixed_seed() {
+        let dfs = clustered_dfs(8);
+        let truth = dfs.subdataset_distribution(SubDatasetId(0));
+        let cfg = SelectionConfig::default();
+        let run = || {
+            let plan = datanet_cluster::FaultPlan::random(8, 0xF417, 0.3, SimTime::from_secs(2));
+            let mut sched = LocalityScheduler::new(&dfs);
+            run_selection_faulty(&dfs, &truth, &mut sched, &cfg, &FaultConfig::new(plan))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn datanet_scheduler_survives_crashes_too() {
+        let dfs = clustered_dfs(8);
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let view = ElasticMapArray::build(&dfs, &Separation::All).view(s);
+        let cfg = SelectionConfig::default();
+        let mut probe = DataNetScheduler::new(&dfs, &view);
+        let healthy = run_selection(&dfs, &truth, &mut probe, &cfg);
+        let crash_at = SimTime::from_micros(healthy.end.as_micros() / 2);
+        let plan = datanet_cluster::FaultPlan::none(8).crash(5, crash_at);
+        let mut sched = DataNetScheduler::new(&dfs, &view);
+        let out = run_selection_faulty(&dfs, &truth, &mut sched, &cfg, &FaultConfig::new(plan));
+        assert_eq!(
+            out.per_node_bytes.iter().sum::<u64>(),
+            dfs.subdataset_total(s),
+            "DataNet re-plan recovers all bytes"
+        );
+        assert_eq!(out.per_node_bytes[5], 0);
+    }
+
+    #[test]
+    fn slow_window_stretches_the_phase() {
+        let dfs = clustered_dfs(8);
+        let truth = dfs.subdataset_distribution(SubDatasetId(0));
+        let cfg = SelectionConfig::default();
+        let mut a = LocalityScheduler::new(&dfs);
+        let base = run_selection_faulty(
+            &dfs,
+            &truth,
+            &mut a,
+            &cfg,
+            &FaultConfig::new(datanet_cluster::FaultPlan::none(8)),
+        );
+        let plan = datanet_cluster::FaultPlan::none(8).slow(
+            0,
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+            4.0,
+        );
+        let mut b = LocalityScheduler::new(&dfs);
+        let slowed = run_selection_faulty(&dfs, &truth, &mut b, &cfg, &FaultConfig::new(plan));
+        assert!(
+            slowed.end > base.end,
+            "a 4x-slowed node must lengthen the phase: {:?} !> {:?}",
+            slowed.end,
+            base.end
+        );
+        assert_eq!(
+            slowed.per_node_bytes.iter().sum::<u64>(),
+            base.per_node_bytes.iter().sum::<u64>(),
+            "slowness never loses data"
+        );
+    }
+
+    #[test]
+    fn unreplicated_blocks_die_with_their_node() {
+        // Replication 1: node 1's blocks exist nowhere else, so killing it
+        // makes them unrecoverable — reported, not silently dropped.
+        let recs = (0..400u64).map(|i| Record::new(SubDatasetId(i % 3), i, 100, i));
+        let dfs = Dfs::write_random(
+            DfsConfig {
+                block_size: 2_000,
+                replication: 1,
+                topology: Topology::single_rack(2),
+                seed: 9,
+            },
+            recs,
+        );
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let cfg = SelectionConfig::default();
+        let plan = datanet_cluster::FaultPlan::none(2).crash(1, SimTime::from_millis(20));
+        let mut sched = LocalityScheduler::new(&dfs);
+        let out = run_selection_faulty(&dfs, &truth, &mut sched, &cfg, &FaultConfig::new(plan));
+        assert!(
+            !out.faults.unrecoverable_blocks.is_empty(),
+            "unreplicated blocks on the dead node must be reported lost"
+        );
+        let lost_bytes: u64 = out
+            .faults
+            .unrecoverable_blocks
+            .iter()
+            .map(|&b| truth[b.index()])
+            .sum();
+        assert_eq!(
+            out.per_node_bytes.iter().sum::<u64>() + lost_bytes,
+            dfs.subdataset_total(s),
+            "credited + reported-lost covers the whole sub-dataset"
+        );
+    }
+
+    #[test]
+    fn retry_budget_zero_abandons_lost_work() {
+        let dfs = clustered_dfs(8);
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let cfg = SelectionConfig::default();
+        let mut probe = LocalityScheduler::new(&dfs);
+        let healthy = run_selection(&dfs, &truth, &mut probe, &cfg);
+        let crash_at = SimTime::from_micros(healthy.end.as_micros() / 2);
+        let plan = datanet_cluster::FaultPlan::none(8).crash(2, crash_at);
+        let mut sched = LocalityScheduler::new(&dfs);
+        let faults = FaultConfig {
+            plan,
+            max_retries: 0,
+        };
+        let out = run_selection_faulty(&dfs, &truth, &mut sched, &cfg, &faults);
+        assert!(
+            !out.faults.abandoned_blocks.is_empty(),
+            "with no retry budget, executed-then-lost blocks are abandoned"
+        );
+        assert_eq!(out.faults.requeued_tasks, 0);
+        assert!(
+            out.per_node_bytes.iter().sum::<u64>() < dfs.subdataset_total(s),
+            "abandoned work leaves a gap, and the stats say exactly where"
+        );
+    }
+
+    #[test]
+    fn faulty_pipeline_places_reducers_on_survivors() {
+        let dfs = clustered_dfs(8);
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let cfg = SelectionConfig::default();
+        let mut probe = LocalityScheduler::new(&dfs);
+        let healthy = run_selection(&dfs, &truth, &mut probe, &cfg);
+        let crash_at = SimTime::from_micros(healthy.end.as_micros() / 2);
+        let plan = datanet_cluster::FaultPlan::none(8).crash(6, crash_at);
+        let mut sched = LocalityScheduler::new(&dfs);
+        let rep = run_pipeline_faulty(
+            &dfs,
+            s,
+            &mut sched,
+            &test_job(),
+            &cfg,
+            &AnalysisConfig::default(),
+            &FaultConfig::new(plan),
+        );
+        assert!(rep.faults().any());
+        assert_eq!(
+            rep.job.shuffle_secs.len(),
+            7,
+            "one reducer per surviving node"
+        );
+        assert_eq!(
+            rep.selection.per_node_bytes.iter().sum::<u64>(),
+            dfs.subdataset_total(s)
+        );
     }
 }

@@ -29,11 +29,12 @@ pub mod skewtune;
 pub mod speculation;
 
 pub use engine::{
-    capability_of, run_analysis, run_analysis_aggregated, run_analysis_hetero, run_pipeline,
-    run_selection, AnalysisConfig, SelectionConfig,
+    capability_of, run_analysis, run_analysis_aggregated, run_analysis_hetero,
+    run_analysis_surviving, run_pipeline, run_pipeline_faulty, run_selection, run_selection_faulty,
+    AnalysisConfig, FaultConfig, SelectionConfig,
 };
 pub use job::JobProfile;
-pub use report::{ExecutionReport, JobReport, SelectionOutcome};
+pub use report::{ExecutionReport, FaultStats, JobReport, SelectionOutcome};
 pub use scheduler::{
     DataNetScheduler, DelayScheduler, LocalityScheduler, MapScheduler, PlannedScheduler,
 };

@@ -1,8 +1,45 @@
 //! Execution reports: everything the paper's figures read off a run.
 
 use datanet_cluster::SimTime;
+use datanet_dfs::BlockId;
 use datanet_stats::Summary;
 use serde::{Deserialize, Serialize};
+
+/// What fault injection did to a run and what recovery cost. All zeros /
+/// empty for a fault-free execution ([`FaultStats::default`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Nodes that crashed during the phase, in crash order.
+    pub crashed_nodes: Vec<usize>,
+    /// Tasks re-enqueued because their node died (in-flight and
+    /// completed-but-unconsumed alike).
+    pub requeued_tasks: usize,
+    /// Re-executions actually performed on survivors (≥ requeued minus
+    /// abandoned/unrecoverable; a block can be requeued more than once).
+    pub reexecuted_tasks: usize,
+    /// Bytes read again from disk/network for re-executions — work the
+    /// crash wasted.
+    pub wasted_bytes_read: u64,
+    /// Blocks whose every replica died: no survivor can serve them. The
+    /// engine reports rather than silently drops them.
+    pub unrecoverable_blocks: Vec<BlockId>,
+    /// Blocks given up on after exhausting the retry limit.
+    pub abandoned_blocks: Vec<BlockId>,
+    /// Seconds from the first crash to phase completion (0 without faults).
+    pub recovery_secs: f64,
+}
+
+impl FaultStats {
+    /// Whether any fault fired during the run.
+    pub fn any(&self) -> bool {
+        !self.crashed_nodes.is_empty()
+    }
+
+    /// Blocks that could not be (re)processed, for any reason.
+    pub fn lost_block_count(&self) -> usize {
+        self.unrecoverable_blocks.len() + self.abandoned_blocks.len()
+    }
+}
 
 /// Result of the selection (filter) phase.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,6 +61,8 @@ pub struct SelectionOutcome {
     pub total_tasks: usize,
     /// Total bytes read from disk (DataNet's block skipping shows up here).
     pub bytes_read: u64,
+    /// Fault-injection accounting (all-default when the run was fault-free).
+    pub faults: FaultStats,
 }
 
 impl SelectionOutcome {
@@ -125,6 +164,12 @@ impl ExecutionReport {
     pub fn total_secs(&self) -> f64 {
         self.selection.end.as_secs_f64() + self.job.makespan_secs
     }
+
+    /// Fault accounting for the pipeline (faults are injected during
+    /// selection; the analysis phase runs on the survivors).
+    pub fn faults(&self) -> &FaultStats {
+        &self.selection.faults
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +186,7 @@ mod tests {
             local_tasks: 3,
             total_tasks: 4,
             bytes_read: 1000,
+            faults: FaultStats::default(),
         }
     }
 
@@ -188,8 +234,25 @@ mod tests {
             local_tasks: 0,
             total_tasks: 0,
             bytes_read: 0,
+            faults: FaultStats::default(),
         };
         assert_eq!(o.locality_fraction(), 1.0);
         assert_eq!(o.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn fault_stats_default_is_fault_free() {
+        let f = FaultStats::default();
+        assert!(!f.any());
+        assert_eq!(f.lost_block_count(), 0);
+        assert_eq!(f.recovery_secs, 0.0);
+        let with = FaultStats {
+            crashed_nodes: vec![3],
+            unrecoverable_blocks: vec![BlockId(7)],
+            abandoned_blocks: vec![BlockId(9), BlockId(11)],
+            ..FaultStats::default()
+        };
+        assert!(with.any());
+        assert_eq!(with.lost_block_count(), 3);
     }
 }

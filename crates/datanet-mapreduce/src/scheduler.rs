@@ -24,6 +24,15 @@ pub trait MapScheduler {
 
     /// Scheduler name for reports.
     fn name(&self) -> &'static str;
+
+    /// Fail-stop notification: `node` crashed and `requeue` is every block
+    /// it had been handed (in-flight *and* completed — its filtered
+    /// partitions died with it). The scheduler must make those blocks
+    /// servable again to the survivors and stop counting on the dead node.
+    /// The engine guarantees each requeued block has at least one surviving
+    /// replica; blocks with none are triaged as unrecoverable before this
+    /// call.
+    fn node_lost(&mut self, node: NodeId, requeue: &[BlockId]);
 }
 
 /// Hadoop's default block-locality scheduling (the paper's "without
@@ -93,6 +102,15 @@ impl MapScheduler for LocalityScheduler {
     fn name(&self) -> &'static str {
         "locality"
     }
+
+    fn node_lost(&mut self, node: NodeId, requeue: &[BlockId]) {
+        // The dead node stops requesting; drop its local list so the
+        // baseline never routes to it again, and put its blocks back in the
+        // global pool. Survivors that hold replicas still find them in
+        // their own (unchanged, accurate) local lists.
+        self.local[node.index()].clear();
+        self.remaining.extend(requeue.iter().copied());
+    }
 }
 
 /// The DataNet scheduler: Algorithm 1 driven live by worker pulls
@@ -132,6 +150,14 @@ impl MapScheduler for DataNetScheduler {
     fn name(&self) -> &'static str {
         "datanet"
     }
+
+    fn node_lost(&mut self, node: NodeId, requeue: &[BlockId]) {
+        // DataNet re-plans: Algorithm 1 strips the dead node from the
+        // bipartite graph, reinserts the lost blocks against surviving
+        // replicas, and recomputes capability-proportional targets over
+        // the survivors.
+        self.alg.node_lost(node, requeue);
+    }
 }
 
 /// Serves a precomputed [`Assignment`] (e.g. from the Ford–Fulkerson
@@ -143,6 +169,10 @@ pub struct PlannedScheduler {
     /// Whether each planned block was local in the plan.
     locality: Vec<Vec<bool>>,
     remaining: usize,
+    /// Replica map, consulted to re-home blocks after a node loss.
+    namenode: NameNode,
+    /// `alive[n]` — node `n` has not been reported lost.
+    alive: Vec<bool>,
 }
 
 impl PlannedScheduler {
@@ -166,6 +196,8 @@ impl PlannedScheduler {
             queues,
             locality,
             remaining,
+            namenode: namenode.clone(),
+            alive: vec![true; assignment.node_count()],
         }
     }
 }
@@ -186,6 +218,35 @@ impl MapScheduler for PlannedScheduler {
 
     fn name(&self) -> &'static str {
         "planned"
+    }
+
+    fn node_lost(&mut self, node: NodeId, requeue: &[BlockId]) {
+        self.alive[node.index()] = false;
+        // The dead node's unserved queue and its already-served blocks both
+        // need new homes (the plan did not anticipate the crash).
+        let orphans: Vec<BlockId> = self.queues[node.index()].drain(..).collect();
+        self.locality[node.index()].clear();
+        self.remaining += requeue.len(); // orphans were still counted
+        for &b in orphans.iter().chain(requeue) {
+            // Greedy repair of the static plan: append to the surviving
+            // replica holder with the shortest queue (local read), else to
+            // the least-loaded survivor (remote read). Ties break toward
+            // the lowest node id for determinism.
+            let survivors = self.namenode.surviving_replicas(b, &self.alive);
+            let target = survivors
+                .iter()
+                .copied()
+                .min_by_key(|n| (self.queues[n.index()].len(), n.index()))
+                .unwrap_or_else(|| {
+                    (0..self.alive.len())
+                        .filter(|&n| self.alive[n])
+                        .min_by_key(|&n| (self.queues[n].len(), n))
+                        .map(|n| NodeId(n as u32))
+                        .expect("at least one survivor")
+                });
+            self.queues[target.index()].push_back(b);
+            self.locality[target.index()].push(survivors.contains(&target));
+        }
     }
 }
 
@@ -314,6 +375,53 @@ mod tests {
     }
 
     #[test]
+    fn locality_node_lost_requeues_and_sidelines_node() {
+        let d = dfs();
+        let mut s = LocalityScheduler::new(&d);
+        let (b0, _) = s.next_task(NodeId(1)).unwrap();
+        let (b1, _) = s.next_task(NodeId(1)).unwrap();
+        let before = s.remaining();
+        s.node_lost(NodeId(1), &[b0, b1]);
+        assert_eq!(s.remaining(), before + 2);
+        // Survivors eventually drain everything, including b0 and b1.
+        let mut seen = std::collections::HashSet::new();
+        let mut node = 0u32;
+        while let Some((b, _)) = s.next_task(NodeId([0, 2, 3][node as usize % 3])) {
+            seen.insert(b);
+            node += 1;
+        }
+        assert!(seen.contains(&b0) && seen.contains(&b1));
+        assert_eq!(seen.len(), d.block_count());
+    }
+
+    #[test]
+    fn planned_node_lost_rehomes_queue_and_served_blocks() {
+        let d = dfs();
+        let view = ElasticMapArray::build(&d, &Separation::All).view(SubDatasetId(0));
+        let plan = datanet::FordFulkersonPlanner::new(&d, &view).plan();
+        let total = plan.assigned_blocks();
+        let mut s = PlannedScheduler::new(&plan, d.namenode());
+        // Node 2 takes one task and dies with it.
+        let served = s.next_task(NodeId(2)).map(|(b, _)| b);
+        let requeue: Vec<BlockId> = served.into_iter().collect();
+        s.node_lost(NodeId(2), &requeue);
+        assert_eq!(s.remaining(), total, "served block is back in a queue");
+        assert!(
+            s.next_task(NodeId(2)).is_none(),
+            "dead node's queue is empty"
+        );
+        // Survivors drain the full plan, nothing lost or duplicated.
+        let mut seen = std::collections::HashSet::new();
+        for n in [0u32, 1, 3] {
+            while let Some((b, _)) = s.next_task(NodeId(n)) {
+                assert!(seen.insert(b), "block {b} served twice");
+            }
+        }
+        assert_eq!(seen.len(), total);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
     fn planned_scheduler_serves_the_plan_exactly() {
         let d = dfs();
         let view = ElasticMapArray::build(&d, &Separation::All).view(SubDatasetId(0));
@@ -390,5 +498,12 @@ impl MapScheduler for DelayScheduler {
 
     fn name(&self) -> &'static str {
         "delay"
+    }
+
+    fn node_lost(&mut self, node: NodeId, requeue: &[BlockId]) {
+        self.inner.node_lost(node, requeue);
+        // Fresh work just appeared: reset every skip budget so survivors
+        // re-evaluate instead of sitting out their delay.
+        self.skips.fill(0);
     }
 }

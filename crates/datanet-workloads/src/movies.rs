@@ -306,8 +306,12 @@ mod tests {
         let (recs, cat) = cfg.generate();
         let hot = cat.most_reviewed();
         let release = cat.release_day[hot.raw() as usize] as u64 * 86_400;
-        // At least 80% of the hot movie's reviews land within 4 burst
-        // scales of its release (Γ(2, 6d): P(< 24d) ≈ 0.91).
+        // Most of the hot movie's reviews land within 4 burst scales of its
+        // release. In expectation that fraction is (1 - background) · P(Γ(2, 6d)
+        // < 24d) ≈ 0.85 · 0.91 ≈ 0.77 plus whatever slice of the flat
+        // background rate falls in the window, with daily volatility on top —
+        // so 0.7 is the clustering signal with noise margin, while a uniform
+        // spread would put only ~24d/365d ≈ 0.07 in the window.
         let horizon_cap = 4.0 * cfg.burst_scale_days * 86_400.0;
         let hits = recs
             .iter()
@@ -316,7 +320,7 @@ mod tests {
             .count();
         let total = recs.iter().filter(|r| r.subdataset == hot).count();
         assert!(
-            hits as f64 > 0.8 * total as f64,
+            hits as f64 > 0.7 * total as f64,
             "{hits}/{total} within the burst window"
         );
     }

@@ -120,6 +120,44 @@ impl DistributionGraph {
         // adj_node lists are cleaned lazily by the `contains` filter; a
         // periodic compaction keeps them from growing stale.
     }
+
+    /// Put a previously removed block back, with an explicit holder set —
+    /// fault recovery re-enqueues a crashed node's blocks against their
+    /// *surviving* replicas. The block's weight is retained from the
+    /// original scope.
+    ///
+    /// # Panics
+    /// Panics if `b` is still in the graph or `holders` is empty.
+    pub fn reinsert(&mut self, b: BlockId, holders: Vec<NodeId>) {
+        assert!(
+            self.holders[b.index()].is_none(),
+            "block {b} is already in the graph"
+        );
+        assert!(!holders.is_empty(), "a reinserted block needs a holder");
+        // The new holder set is authoritative: stale adjacency entries from
+        // the original build would otherwise pass the `contains` filter
+        // again and revive edges to nodes that lost their replica.
+        for (n, adj) in self.adj_node.iter_mut().enumerate() {
+            if holders.iter().any(|h| h.index() == n) {
+                if !adj.contains(&b) {
+                    adj.push(b);
+                }
+            } else {
+                adj.retain(|&x| x != b);
+            }
+        }
+        self.holders[b.index()] = Some(holders);
+        self.remaining += 1;
+    }
+
+    /// Drop every edge to node `n` (it crashed): blocks whose only holder
+    /// was `n` stay in the graph but become remote-only.
+    pub fn remove_node(&mut self, n: NodeId) {
+        self.adj_node[n.index()].clear();
+        for h in self.holders.iter_mut().flatten() {
+            h.retain(|&x| x != n);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +225,42 @@ mod tests {
         assert_eq!(g.weight(BlockId(0)), 777);
         assert_eq!(g.weight(BlockId(3)), 777); // δ = min exact = 777
         assert!(!g.contains(BlockId(1)));
+    }
+
+    #[test]
+    fn reinsert_restores_block_with_surviving_holders() {
+        let mut g = graph();
+        g.remove_block(BlockId(0));
+        assert!(!g.contains(BlockId(0)));
+        // Back with only node 1 surviving.
+        g.reinsert(BlockId(0), vec![NodeId(1)]);
+        assert!(g.contains(BlockId(0)));
+        assert_eq!(g.remaining(), 3);
+        assert_eq!(g.weight(BlockId(0)), 100, "weight survives the round trip");
+        assert_eq!(g.holders(BlockId(0)).unwrap(), &[NodeId(1)]);
+        // Node 1 sees it locally; node 0 no longer does.
+        assert!(g.local_blocks(NodeId(1)).any(|b| b == BlockId(0)));
+        assert!(g.local_blocks(NodeId(0)).all(|b| b != BlockId(0)));
+    }
+
+    #[test]
+    fn remove_node_strips_edges_but_keeps_blocks() {
+        let mut g = graph();
+        g.remove_node(NodeId(2));
+        assert_eq!(g.remaining(), 3, "blocks are not lost with the node");
+        assert_eq!(g.local_blocks(NodeId(2)).count(), 0);
+        assert_eq!(g.holders(BlockId(1)).unwrap(), &[NodeId(1)]);
+        assert!(
+            g.holders(BlockId(3)).unwrap().is_empty(),
+            "block 3 lived only on node 2"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn reinsert_of_live_block_panics() {
+        let mut g = graph();
+        g.reinsert(BlockId(0), vec![NodeId(1)]);
     }
 
     #[test]

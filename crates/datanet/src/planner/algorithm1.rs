@@ -62,6 +62,14 @@ pub struct Algorithm1 {
     /// be assigned to each node" maps to capability-proportional targets.
     targets: Vec<f64>,
     policy: BalancePolicy,
+    /// Capabilities the targets were derived from; kept so targets can be
+    /// recomputed over the survivors after a node loss.
+    capabilities: Vec<f64>,
+    /// Replica metadata snapshot, consulted when re-homing a lost node's
+    /// blocks onto surviving replicas.
+    namenode: NameNode,
+    /// `alive[i]` — node `i` has not been reported lost.
+    alive: Vec<bool>,
 }
 
 impl Algorithm1 {
@@ -114,7 +122,58 @@ impl Algorithm1 {
             assigned_total: 0,
             targets,
             policy,
+            capabilities: capabilities.to_vec(),
+            namenode: namenode.clone(),
+            alive: vec![true; m],
         }
+    }
+
+    /// React to the fail-stop loss of `node` (the DataNet re-planning hook):
+    ///
+    /// 1. drop every edge to the dead node — its unassigned local blocks
+    ///    stay schedulable, now remote-only;
+    /// 2. forget the workload credited to it (its filtered partition died
+    ///    with it) and re-enqueue `requeue` — the blocks it had been
+    ///    assigned — against their *surviving* replicas;
+    /// 3. recompute per-node targets over the survivors so the redistributed
+    ///    weight keeps flowing capability-proportionally: each survivor is
+    ///    targeted at its current workload plus its capability share of all
+    ///    still-unassigned weight.
+    ///
+    /// # Panics
+    /// Panics if a requeued block has no surviving replica (the caller must
+    /// triage unrecoverable blocks first) or is still unassigned.
+    pub fn node_lost(&mut self, node: NodeId, requeue: &[BlockId]) {
+        self.alive[node.index()] = false;
+        self.graph.remove_node(node);
+        self.assigned_total -= self.workloads[node.index()];
+        self.workloads[node.index()] = 0;
+        for &b in requeue {
+            let survivors = self.namenode.surviving_replicas(b, &self.alive);
+            assert!(
+                !survivors.is_empty(),
+                "block {b} has no surviving replica — filter unrecoverable blocks before requeueing"
+            );
+            self.graph.reinsert(b, survivors);
+        }
+        let cap_sum: f64 = (0..self.capabilities.len())
+            .filter(|&i| self.alive[i])
+            .map(|i| self.capabilities[i])
+            .sum();
+        assert!(cap_sum > 0.0, "every node is dead");
+        let unassigned = self.graph.remaining_weight() as f64;
+        for i in 0..self.targets.len() {
+            self.targets[i] = if self.alive[i] {
+                self.workloads[i] as f64 + unassigned * self.capabilities[i] / cap_sum
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Whether `node` has been reported lost.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
     }
 
     /// The mean per-node target (equals the paper's `W̄` for homogeneous
@@ -525,6 +584,44 @@ mod tests {
             crate::planner::BalancePolicy::PacedGreedy,
             &[1.0, 0.0, 1.0, 1.0],
         );
+    }
+
+    #[test]
+    fn node_lost_requeues_onto_survivors() {
+        let dfs = clustered_dfs(8);
+        let view = view_for(&dfs, SubDatasetId(0));
+        let mut alg = Algorithm1::new(&dfs, &view);
+        // Node 2 pulls a few tasks, then dies.
+        let mut node2_blocks = Vec::new();
+        for _ in 0..4 {
+            let (b, _) = alg.next_task_for(NodeId(2)).unwrap();
+            node2_blocks.push(b);
+        }
+        let before_remaining = alg.remaining();
+        alg.node_lost(NodeId(2), &node2_blocks);
+        assert!(!alg.is_alive(NodeId(2)));
+        assert_eq!(alg.remaining(), before_remaining + 4);
+        assert_eq!(alg.workloads()[2], 0, "dead node's credit is forgotten");
+        assert!((alg.target_of(NodeId(2))).abs() < 1e-12);
+        // Survivors drain everything, including the requeued blocks.
+        let mut assigned = std::collections::HashSet::new();
+        let mut i = 0u32;
+        loop {
+            let n = NodeId(i % 8);
+            i += 1;
+            if n == NodeId(2) {
+                continue;
+            }
+            match alg.next_task_for(n) {
+                Some((b, _)) => assert!(assigned.insert(b), "block {b} assigned twice"),
+                None => break,
+            }
+        }
+        for b in node2_blocks {
+            assert!(assigned.contains(&b), "requeued block {b} was re-assigned");
+        }
+        let total: u64 = alg.workloads().iter().sum();
+        assert_eq!(total, view.estimated_total(), "no bytes lost or doubled");
     }
 
     #[test]

@@ -138,6 +138,12 @@ impl MetaStore {
         Ok(&self.cache.back().expect("just pushed").1)
     }
 
+    /// Indices of the shards currently decoded in the cache, oldest first
+    /// (the front is the next eviction victim).
+    pub fn cached_shards(&self) -> Vec<usize> {
+        self.cache.iter().map(|(i, _)| *i).collect()
+    }
+
     /// Query one `(block, sub-dataset)` cell from disk.
     ///
     /// # Errors
@@ -267,6 +273,77 @@ mod tests {
                 b.view(SubDatasetId(s)).unwrap()
             );
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_evicts_oldest_first_and_refreshes_on_hit() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("evict");
+        MetaStore::save(&arr, &dir, 3).unwrap();
+        let mut store = MetaStore::open(&dir, 2).unwrap();
+        assert!(store.manifest().shard_count() >= 3, "need >= 3 shards");
+
+        store.shard(0).unwrap();
+        store.shard(1).unwrap();
+        assert_eq!(store.cached_shards(), vec![0, 1]);
+        // A hit moves the shard to the back (most recently used).
+        store.shard(0).unwrap();
+        assert_eq!(store.cached_shards(), vec![1, 0]);
+        // A miss at capacity evicts the front — shard 1, not the re-used 0.
+        store.shard(2).unwrap();
+        assert_eq!(store.cached_shards(), vec![0, 2]);
+
+        // cache_shards = 0 keeps exactly one transient slot.
+        let mut transient = MetaStore::open(&dir, 0).unwrap();
+        transient.shard(0).unwrap();
+        transient.shard(1).unwrap();
+        assert_eq!(transient.cached_shards(), vec![1]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_hit_serves_even_after_disk_loss() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("hit");
+        MetaStore::save(&arr, &dir, 5).unwrap();
+        let mut store = MetaStore::open(&dir, 4).unwrap();
+        let want = store.query(BlockId(0), SubDatasetId(3)).unwrap();
+
+        // Shard 0 is cached now; clobber it on disk.
+        fs::write(dir.join("shard-0000.json"), b"not json").unwrap();
+        assert_eq!(store.query(BlockId(0), SubDatasetId(3)).unwrap(), want);
+
+        // A fresh store must go to disk and hit the corruption.
+        let mut fresh = MetaStore::open(&dir, 4).unwrap();
+        assert!(fresh.query(BlockId(0), SubDatasetId(3)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_or_missing_shard_is_an_error() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("corrupt");
+        MetaStore::save(&arr, &dir, 6).unwrap();
+        let count = {
+            let store = MetaStore::open(&dir, 1).unwrap();
+            store.manifest().shard_count()
+        };
+        assert!(count >= 2, "need >= 2 shards");
+
+        // Truncated JSON in the middle of a shard.
+        fs::write(dir.join("shard-0001.json"), b"[{\"trunc").unwrap();
+        let mut store = MetaStore::open(&dir, 1).unwrap();
+        assert!(store.shard(1).is_err());
+        // Other shards are unaffected.
+        assert!(store.shard(0).is_ok());
+
+        // A deleted shard file surfaces as NotFound.
+        fs::remove_file(dir.join(format!("shard-{:04}.json", count - 1))).unwrap();
+        let err = store.shard(count - 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        // Streaming a view over the broken directory fails too.
+        assert!(store.view(SubDatasetId(0)).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,6 +1,7 @@
-//! Property-based tests (proptest) over the core data structures and
-//! algorithms: invariants that must hold for *any* input, not just the
-//! calibrated experiment datasets.
+//! Property-style tests over the core data structures and algorithms:
+//! invariants that must hold for *any* input, not just the calibrated
+//! experiment datasets. Cases are generated from seeded RNG loops so runs
+//! are deterministic and need no external property-testing framework.
 
 use datanet::planner::BalancePolicy;
 use datanet::{
@@ -9,88 +10,122 @@ use datanet::{
 };
 use datanet_dfs::{Block, BlockId, Dfs, DfsConfig, Record, SubDatasetId, Topology};
 use datanet_stats::GammaDist;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random small block of records.
-fn arb_block() -> impl Strategy<Value = Block> {
-    prop::collection::vec((0u64..40, 1u32..5_000, any::<u64>()), 1..200).prop_map(|specs| {
-        let records = specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (s, size, seed))| Record::new(SubDatasetId(s), i as u64, size, seed))
-            .collect();
-        Block::new(BlockId(0), records)
-    })
-}
+const CASES: u64 = 24;
 
-/// Strategy: a random tiny DFS.
-fn arb_dfs() -> impl Strategy<Value = Dfs> {
-    (
-        prop::collection::vec((0u64..20, 50u32..500), 20..400),
-        2u32..12,
-        1usize..4,
-        any::<u64>(),
-    )
-        .prop_map(|(specs, nodes, replication, seed)| {
-            let records = specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (s, size))| Record::new(SubDatasetId(s), i as u64, size, i as u64));
-            Dfs::write_dataset(
-                DfsConfig {
-                    block_size: 2_000,
-                    replication,
-                    topology: Topology::single_rack(nodes),
-                    seed,
-                },
-                records,
-                &datanet_dfs::RandomPlacement,
+/// A random small block of records.
+fn gen_block(rng: &mut StdRng) -> Block {
+    let len = rng.gen_range(1..200);
+    let records = (0..len)
+        .map(|i| {
+            Record::new(
+                SubDatasetId(rng.gen_range(0u64..40)),
+                i as u64,
+                rng.gen_range(1u32..5_000),
+                rng.gen::<u64>(),
             )
         })
+        .collect();
+    Block::new(BlockId(0), records)
 }
 
-proptest! {
-    #[test]
-    fn bloom_filter_has_no_false_negatives(ids in prop::collection::hash_set(any::<u64>(), 1..500)) {
+/// A random tiny DFS.
+fn gen_dfs(rng: &mut StdRng) -> Dfs {
+    let record_count = rng.gen_range(20..400);
+    let nodes = rng.gen_range(2u32..12);
+    let replication = rng.gen_range(1usize..4);
+    let seed = rng.gen::<u64>();
+    let records: Vec<Record> = (0..record_count)
+        .map(|i| {
+            Record::new(
+                SubDatasetId(rng.gen_range(0u64..20)),
+                i as u64,
+                rng.gen_range(50u32..500),
+                i as u64,
+            )
+        })
+        .collect();
+    Dfs::write_dataset(
+        DfsConfig {
+            block_size: 2_000,
+            replication,
+            topology: Topology::single_rack(nodes),
+            seed,
+        },
+        records,
+        &datanet_dfs::RandomPlacement,
+    )
+}
+
+#[test]
+fn bloom_filter_has_no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1000 + case);
+        let len = rng.gen_range(1..500);
+        let ids: std::collections::HashSet<u64> = (0..len).map(|_| rng.gen::<u64>()).collect();
         let mut f = BloomFilter::with_rate(ids.len(), 0.01);
         for &id in &ids {
             f.insert(SubDatasetId(id));
         }
         for &id in &ids {
-            prop_assert!(f.contains(SubDatasetId(id)));
+            assert!(f.contains(SubDatasetId(id)), "case {case}: lost {id}");
         }
     }
+}
 
-    #[test]
-    fn elasticmap_never_reports_present_as_absent(block in arb_block(), alpha in 0.0f64..=1.0) {
+#[test]
+fn elasticmap_never_reports_present_as_absent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2000 + case);
+        let block = gen_block(&mut rng);
+        let alpha = rng.gen_range(0.0f64..1.0);
         let map = ElasticMap::build(&block, &Separation::Alpha(alpha));
         for (&id, &size) in block.subdataset_sizes().iter() {
-            prop_assert!(size > 0);
-            prop_assert_ne!(map.query(id), SizeInfo::Absent, "lost {}", id);
+            assert!(size > 0);
+            assert_ne!(map.query(id), SizeInfo::Absent, "case {case}: lost {id}");
         }
     }
+}
 
-    #[test]
-    fn elasticmap_exact_entries_are_ground_truth(block in arb_block(), alpha in 0.0f64..=1.0) {
+#[test]
+fn elasticmap_exact_entries_are_ground_truth() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3000 + case);
+        let block = gen_block(&mut rng);
+        let alpha = rng.gen_range(0.0f64..1.0);
         let map = ElasticMap::build(&block, &Separation::Alpha(alpha));
         let truth = block.subdataset_sizes();
         for (id, size) in map.exact_entries() {
-            prop_assert_eq!(truth[&id], size);
+            assert_eq!(truth[&id], size, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn elasticmap_achieves_requested_alpha(block in arb_block(), alpha in 0.0f64..=1.0) {
+#[test]
+fn elasticmap_achieves_requested_alpha() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4000 + case);
+        let block = gen_block(&mut rng);
+        let alpha = rng.gen_range(0.0f64..1.0);
         let map = ElasticMap::build(&block, &Separation::Alpha(alpha));
-        prop_assert!(map.achieved_alpha() >= alpha - 1e-9);
-        prop_assert_eq!(map.distinct(), block.subdataset_sizes().len());
+        assert!(map.achieved_alpha() >= alpha - 1e-9, "case {case}");
+        assert_eq!(
+            map.distinct(),
+            block.subdataset_sizes().len(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn bucket_threshold_selects_a_superset_of_top_quota(
-        sizes in prop::collection::vec(1u64..200_000, 1..300),
-        quota_frac in 0.0f64..=1.0,
-    ) {
+#[test]
+fn bucket_threshold_selects_a_superset_of_top_quota() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5000 + case);
+        let len = rng.gen_range(1..300);
+        let sizes: Vec<u64> = (0..len).map(|_| rng.gen_range(1u64..200_000)).collect();
+        let quota_frac = rng.gen_range(0.0f64..1.0);
         let mut counter = datanet::BucketCounter::new(Buckets::paper());
         for (i, &s) in sizes.iter().enumerate() {
             counter.record(SubDatasetId(i as u64), s);
@@ -98,117 +133,169 @@ proptest! {
         let quota = (quota_frac * sizes.len() as f64).ceil() as usize;
         let threshold = counter.dominance_threshold(quota);
         let selected = sizes.iter().filter(|&&s| s >= threshold).count();
-        prop_assert!(selected >= quota.min(sizes.len()),
-            "quota {} but only {} selected at threshold {}", quota, selected, threshold);
+        assert!(
+            selected >= quota.min(sizes.len()),
+            "case {case}: quota {quota} but only {selected} selected at threshold {threshold}"
+        );
     }
+}
 
-    #[test]
-    fn equation6_estimate_includes_all_exact_mass(dfs in arb_dfs(), s in 0u64..20) {
+#[test]
+fn equation6_estimate_includes_all_exact_mass() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6000 + case);
+        let dfs = gen_dfs(&mut rng);
+        let s = rng.gen_range(0u64..20);
         let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
         let view = arr.view(SubDatasetId(s));
         let exact_sum: u64 = view.exact().iter().map(|&(_, b)| b).sum();
-        prop_assert!(view.estimated_total() >= exact_sum);
+        assert!(view.estimated_total() >= exact_sum, "case {case}");
         // Every τ1/τ2 block must really be a block of the DFS.
         for b in view.blocks() {
-            prop_assert!(b.index() < dfs.block_count());
+            assert!(b.index() < dfs.block_count(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn algorithm1_assigns_scope_exactly_once(dfs in arb_dfs(), s in 0u64..20,
-                                             literal in any::<bool>()) {
+#[test]
+fn algorithm1_assigns_scope_exactly_once() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7000 + case);
+        let dfs = gen_dfs(&mut rng);
+        let s = rng.gen_range(0u64..20);
+        let literal = rng.gen_bool(0.5);
         let arr = ElasticMapArray::build(&dfs, &Separation::All);
         let view = arr.view(SubDatasetId(s));
-        let policy = if literal { BalancePolicy::BestFitTerminal } else { BalancePolicy::PacedGreedy };
+        let policy = if literal {
+            BalancePolicy::BestFitTerminal
+        } else {
+            BalancePolicy::PacedGreedy
+        };
         let plan = Algorithm1::with_policy(dfs.namenode(), &view, policy).plan_balanced();
-        prop_assert_eq!(plan.assigned_blocks(), view.block_count());
+        assert_eq!(plan.assigned_blocks(), view.block_count(), "case {case}");
         let mut seen = std::collections::HashSet::new();
         for n in 0..plan.node_count() {
             for &b in plan.tasks_of(datanet_dfs::NodeId(n as u32)) {
-                prop_assert!(seen.insert(b));
+                assert!(seen.insert(b), "case {case}: block {b:?} assigned twice");
             }
         }
-        prop_assert_eq!(plan.workloads().iter().sum::<u64>(), view.estimated_total());
+        assert_eq!(
+            plan.workloads().iter().sum::<u64>(),
+            view.estimated_total(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn ford_fulkerson_plans_are_local_and_complete(dfs in arb_dfs(), s in 0u64..20) {
+#[test]
+fn ford_fulkerson_plans_are_local_and_complete() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x8000 + case);
+        let dfs = gen_dfs(&mut rng);
+        let s = rng.gen_range(0u64..20);
         let arr = ElasticMapArray::build(&dfs, &Separation::All);
         let view = arr.view(SubDatasetId(s));
         let plan = FordFulkersonPlanner::new(&dfs, &view).plan();
-        prop_assert_eq!(plan.assigned_blocks(), view.block_count());
+        assert_eq!(plan.assigned_blocks(), view.block_count(), "case {case}");
         for n in 0..plan.node_count() {
             for &b in plan.tasks_of(datanet_dfs::NodeId(n as u32)) {
-                prop_assert!(dfs.namenode().is_local(b, datanet_dfs::NodeId(n as u32)));
+                assert!(
+                    dfs.namenode().is_local(b, datanet_dfs::NodeId(n as u32)),
+                    "case {case}"
+                );
             }
         }
         // Fractional optimum is a valid lower bound.
         let t = FordFulkersonPlanner::new(&dfs, &view).fractional_optimum();
-        prop_assert!(plan.max_workload() >= t || view.block_count() == 0);
+        assert!(
+            plan.max_workload() >= t || view.block_count() == 0,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn gamma_cdf_is_monotone_and_bounded(shape in 0.1f64..20.0, scale in 0.1f64..50.0) {
+#[test]
+fn gamma_cdf_is_monotone_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9000 + case);
+        let shape = rng.gen_range(0.1f64..20.0);
+        let scale = rng.gen_range(0.1f64..50.0);
         let g = GammaDist::new(shape, scale);
         let mut prev = 0.0;
         for i in 0..50 {
             let x = i as f64 * scale;
             let c = g.cdf(x);
-            prop_assert!((0.0..=1.0).contains(&c));
-            prop_assert!(c >= prev - 1e-12);
+            assert!((0.0..=1.0).contains(&c), "case {case}");
+            assert!(c >= prev - 1e-12, "case {case}");
             prev = c;
         }
     }
+}
 
-    #[test]
-    fn aggregation_plan_is_valid_and_never_worse_than_uniform(
-        outputs in prop::collection::vec(0u64..5_000_000, 2..40),
-        reducer_frac in 0.1f64..=1.0,
-        skew in 1.0f64..4.0,
-    ) {
+#[test]
+fn aggregation_plan_is_valid_and_never_worse_than_uniform() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xa000 + case);
+        let len = rng.gen_range(2..40);
+        let outputs: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..5_000_000)).collect();
+        let reducer_frac = rng.gen_range(0.1f64..1.0);
+        let skew = rng.gen_range(1.0f64..4.0);
         let reducers = ((outputs.len() as f64 * reducer_frac) as usize).clamp(1, outputs.len());
         let plan = plan_aggregation(&outputs, reducers, skew);
         plan.validate();
-        prop_assert!(plan.reduce_imbalance() <= skew + 1e-6);
+        assert!(plan.reduce_imbalance() <= skew + 1e-6, "case {case}");
         // Placement on the richest nodes can't lose to canonical placement
         // at the same reducer count with uniform shares.
         let naive = uniform_baseline_traffic(&outputs, reducers);
         let placed_uniform = plan_aggregation(&outputs, reducers, 1.0);
-        prop_assert!(placed_uniform.est_traffic <= naive);
+        assert!(placed_uniform.est_traffic <= naive, "case {case}");
         // Weighted shares can't exceed the placed-uniform traffic by more
         // than rounding.
-        prop_assert!(plan.est_traffic <= placed_uniform.est_traffic + reducers as u64);
+        assert!(
+            plan.est_traffic <= placed_uniform.est_traffic + reducers as u64,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn metastore_roundtrips_any_array(dfs in arb_dfs(), shard in 1usize..20, case in 0u64..1_000_000) {
+#[test]
+fn metastore_roundtrips_any_array() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xb000 + case);
+        let dfs = gen_dfs(&mut rng);
+        let shard = rng.gen_range(1usize..20);
         let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
-        let dir = std::env::temp_dir().join(format!(
-            "datanet-prop-{}-{case}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("datanet-prop-{}-{case}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         MetaStore::save(&arr, &dir, shard).expect("save");
         let mut store = MetaStore::open(&dir, 2).expect("open");
-        prop_assert_eq!(store.manifest().blocks, arr.len());
+        assert_eq!(store.manifest().blocks, arr.len(), "case {case}");
         for s in 0..20u64 {
-            prop_assert_eq!(store.view(SubDatasetId(s)).expect("view"), arr.view(SubDatasetId(s)));
+            assert_eq!(
+                store.view(SubDatasetId(s)).expect("view"),
+                arr.view(SubDatasetId(s)),
+                "case {case}"
+            );
         }
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
+}
 
-    #[test]
-    fn dfs_write_preserves_bytes_and_order(dfs in arb_dfs()) {
+#[test]
+fn dfs_write_preserves_bytes_and_order() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xc000 + case);
+        let dfs = gen_dfs(&mut rng);
         // Total bytes conserved and timestamps non-decreasing across blocks.
         let mut last_ts = 0;
         let mut total = 0u64;
         for b in dfs.blocks() {
             for r in b.records() {
-                prop_assert!(r.timestamp >= last_ts);
+                assert!(r.timestamp >= last_ts, "case {case}");
                 last_ts = r.timestamp;
                 total += r.size as u64;
             }
         }
-        prop_assert_eq!(total, dfs.total_bytes());
+        assert_eq!(total, dfs.total_bytes(), "case {case}");
     }
 }

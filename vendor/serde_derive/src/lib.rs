@@ -1,0 +1,439 @@
+//! Derive macros for the in-repo `serde` stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — those cannot be fetched in
+//! this offline build). Supports exactly the item shapes this workspace
+//! serializes:
+//!
+//! * named-field structs (docs/attributes allowed anywhere),
+//! * tuple structs (newtypes serialize as their inner value),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants.
+//!
+//! Generic items are rejected with a clear compile error — none of the
+//! workspace's serialized types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Skip `#[...]` attribute pairs (including doc comments).
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => panic!("expected [...] after #"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a visibility marker (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Count fields in a tuple-struct/tuple-variant parenthesis group: one more
+/// than the number of commas at angle-bracket depth 0 (trailing comma
+/// tolerated).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    let mut last_was_comma = false;
+    for t in group {
+        saw_any = true;
+        last_was_comma = false;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_any {
+        0
+    } else if last_was_comma {
+        fields
+    } else {
+        fields + 1
+    }
+}
+
+/// Extract field names from a named-field brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => panic!("expected field name, found {other}"),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected : after field {name}, found {other:?}"),
+        }
+        names.push(name);
+        // Consume the type up to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => panic!("expected variant name, found {other}"),
+            None => break,
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Consume up to the next comma (skips explicit discriminants).
+        for t in tokens.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type {name}");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for a {other}"),
+    }
+}
+
+fn field_get(field: &str) -> String {
+    format!("v.get(\"{field}\").unwrap_or(&::serde::Value::Null)")
+}
+
+/// Derive the reflection-model `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n}}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("Self::{vname} => ::serde::Value::Str(\"{vname}\".to_string())")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "Self::{vname}(f0) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({}) => ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive the reflection-model `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value({})?",
+                        field_get(f)
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Object(_) => Ok(Self {{ {} }}),\n\
+                 other => Err(::serde::DeError::expected(\"{name} object\", other)),\n\
+                 }}\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             Ok(Self(::serde::Deserialize::from_value(v)?))\n}}\n}}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {arity} => Ok(Self({})),\n\
+                 other => Err(::serde::DeError::expected(\"{name} array of {arity}\", other)),\n\
+                 }}\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             Ok(Self)\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok(Self::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok(Self::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} =>\
+                                 Ok(Self::{vname}({})),\n\
+                                 other => Err(::serde::DeError::expected(\
+                                 \"{name}::{vname} array of {n}\", other)),\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => Ok(Self::{vname} {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit}\n\
+                 other => Err(::serde::DeError::msg(format!(\
+                 \"unknown {name} variant {{other}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {data}\n\
+                 other => Err(::serde::DeError::msg(format!(\
+                 \"unknown {name} variant {{other}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::expected(\"{name} variant\", other)),\n\
+                 }}\n}}\n}}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl must parse")
+}
