@@ -3,7 +3,9 @@
 
 use crate::args::{ArgError, Args};
 use crate::dataset::DatasetFile;
-use datanet::{Algorithm1, ElasticMapArray, FordFulkersonPlanner, MetaStore, Separation};
+use datanet::{
+    Algorithm1, ElasticMapArray, FordFulkersonPlanner, MetaStore, Separation, StoreError,
+};
 use datanet_analytics::profiles::{
     histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
 };
@@ -22,6 +24,8 @@ pub enum CliError {
     Args(ArgError),
     /// Filesystem/serialisation problems.
     Io(std::io::Error),
+    /// Metadata-store problems (corruption, version, exhausted replicas).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for CliError {
@@ -29,6 +33,7 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "usage error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Store(e) => write!(f, "metadata error: {e}"),
         }
     }
 }
@@ -45,6 +50,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        CliError::Store(e)
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 datanet — sub-dataset distribution-aware analysis (DataNet, IPDPS'16)
@@ -52,9 +63,10 @@ datanet — sub-dataset distribution-aware analysis (DataNet, IPDPS'16)
 USAGE:
   datanet gen <movies|github|worldcup> --out FILE
               [--records N] [--nodes N] [--block-kb N] [--seed N]
-  datanet scan --dataset FILE --meta DIR [--alpha F] [--shard-blocks N]
-  datanet query --dataset FILE --meta DIR --subdataset ID
-  datanet plan --dataset FILE --meta DIR --subdataset ID [--planner alg1|maxflow]
+  datanet scan --dataset FILE --meta DIR[,DIR...] [--alpha F] [--shard-blocks N]
+  datanet query --dataset FILE --meta DIR[,DIR...] --subdataset ID
+  datanet plan --dataset FILE --meta DIR[,DIR...] --subdataset ID [--planner alg1|maxflow]
+  datanet scrub --meta DIR[,DIR...]
   datanet simulate --dataset FILE --subdataset ID
               [--job movingaverage|wordcount|histogram|topk] [--alpha F]
   datanet help
@@ -71,6 +83,7 @@ pub fn dispatch(tokens: Vec<String>, out: &mut dyn Write) -> Result<(), CliError
         Some("scan") => cmd_scan(&args, out),
         Some("query") => cmd_query(&args, out),
         Some("plan") => cmd_plan(&args, out),
+        Some("scrub") => cmd_scrub(&args, out),
         Some("simulate") => cmd_simulate(&args, out),
         Some("help") | None => {
             write!(out, "{USAGE}")?;
@@ -140,30 +153,81 @@ fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `--meta` accepts a comma-separated replica list; the first directory is
+/// the primary, shards are replicated across all of them.
+fn meta_dirs(args: &Args) -> Result<Vec<std::path::PathBuf>, CliError> {
+    let dirs: Vec<std::path::PathBuf> = args
+        .require("meta")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from)
+        .collect();
+    if dirs.is_empty() {
+        return Err(ArgError("--meta needs at least one directory".into()).into());
+    }
+    Ok(dirs)
+}
+
+fn open_store(args: &Args, cache_shards: usize) -> Result<MetaStore, CliError> {
+    let dirs = meta_dirs(args)?;
+    let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+    Ok(MetaStore::open_replicated(&refs, cache_shards)?)
+}
+
 fn cmd_scan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
     let alpha: f64 = args.get_or("alpha", 0.3)?;
     let shard_blocks: usize = args.get_or("shard-blocks", 64)?;
     let dfs = ds.to_dfs();
     let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha));
-    let dir = Path::new(args.require("meta")?);
-    MetaStore::save(&arr, dir, shard_blocks)?;
-    let store = MetaStore::open(dir, 1)?;
+    let dirs = meta_dirs(args)?;
+    let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+    MetaStore::save_replicated(&arr, &refs, shard_blocks)?;
+    let store = MetaStore::open_replicated(&refs, 1)?;
     writeln!(
         out,
         "scanned {} blocks at alpha={alpha}: {} bytes of meta-data on disk \
-         ({}x smaller than the raw data), accuracy chi = {:.1}%",
+         ({}x smaller than the raw data), {} replica(s), accuracy chi = {:.1}%",
         arr.len(),
         store.disk_bytes()?,
         dfs.total_bytes() / store.disk_bytes()?.max(1),
+        dirs.len(),
         arr.accuracy(&dfs) * 100.0
     )?;
     Ok(())
 }
 
+fn cmd_scrub(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut store = open_store(args, 1)?;
+    let report = store.scrub();
+    writeln!(
+        out,
+        "scrubbed {} shards: {} shard copies repaired, {} summaries repaired, \
+         {} manifests repaired, {} quarantined",
+        report.scrubbed,
+        report.repaired,
+        report.summaries_repaired,
+        report.manifests_repaired,
+        report.quarantined.len()
+    )?;
+    for shard in &report.quarantined {
+        writeln!(
+            out,
+            "  shard {shard}: no healthy copy on any replica — quarantined \
+             (blocks degrade to {})",
+            if report.summaries_lost.contains(shard) {
+                "rung 3, summary also lost"
+            } else {
+                "rung 2 via the bloom summary"
+            }
+        )?;
+    }
+    Ok(())
+}
+
 fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
-    let mut store = MetaStore::open(Path::new(args.require("meta")?), 4)?;
+    let mut store = open_store(args, 4)?;
     let id: u64 = args
         .require("subdataset")?
         .parse()
@@ -187,7 +251,7 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
-    let mut store = MetaStore::open(Path::new(args.require("meta")?), 4)?;
+    let mut store = open_store(args, 4)?;
     let id: u64 = args
         .require("subdataset")?
         .parse()
@@ -338,6 +402,43 @@ mod tests {
 
         let _ = std::fs::remove_file(&ds);
         let _ = std::fs::remove_dir_all(&meta);
+    }
+
+    #[test]
+    fn replicated_scan_scrub_heals_corruption() {
+        let ds = tmp("repl-ds.json");
+        let meta_a = tmp("repl-a");
+        let meta_b = tmp("repl-b");
+        run(&format!(
+            "gen movies --records 20000 --nodes 8 --block-kb 64 --out {ds}"
+        ))
+        .unwrap();
+        let s = run(&format!(
+            "scan --dataset {ds} --meta {meta_a},{meta_b} --shard-blocks 8"
+        ))
+        .unwrap();
+        assert!(s.contains("2 replica(s)"), "{s}");
+
+        // Corrupt a shard in the primary; scrub repairs it from the second.
+        std::fs::write(
+            std::path::Path::new(&meta_a).join("shard-0000.json"),
+            b"rot",
+        )
+        .unwrap();
+        let s = run(&format!("scrub --meta {meta_a},{meta_b}")).unwrap();
+        assert!(s.contains("1 shard copies repaired"), "{s}");
+        assert!(s.contains("0 quarantined"), "{s}");
+
+        // The primary alone is whole again.
+        let s = run(&format!(
+            "query --dataset {ds} --meta {meta_a} --subdataset 0"
+        ))
+        .unwrap();
+        assert!(s.contains("sub-dataset s0"), "{s}");
+
+        let _ = std::fs::remove_file(&ds);
+        let _ = std::fs::remove_dir_all(&meta_a);
+        let _ = std::fs::remove_dir_all(&meta_b);
     }
 
     #[test]

@@ -234,6 +234,77 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_slow_windows_compose_order_independently() {
+        // Same windows, opposite insertion order: the factor at every
+        // instant must agree — composition is a product, not a stack.
+        let a = FaultPlan::none(1)
+            .slow(0, SimTime::from_secs(1), SimTime::from_secs(5), 2.0)
+            .slow(0, SimTime::from_secs(3), SimTime::from_secs(7), 1.5)
+            .slow(0, SimTime::from_secs(4), SimTime::from_secs(6), 4.0);
+        let b = FaultPlan::none(1)
+            .slow(0, SimTime::from_secs(4), SimTime::from_secs(6), 4.0)
+            .slow(0, SimTime::from_secs(3), SimTime::from_secs(7), 1.5)
+            .slow(0, SimTime::from_secs(1), SimTime::from_secs(5), 2.0);
+        for us in (0..8_000_000u64).step_by(250_000) {
+            let t = SimTime::from_micros(us);
+            assert_eq!(a.slow_factor(0, t), b.slow_factor(0, t), "at {t}");
+        }
+        // Triple overlap at t=4s: 2.0 × 1.5 × 4.0.
+        assert_eq!(a.slow_factor(0, SimTime::from_secs(4)), 12.0);
+        // Window ends are exclusive, starts inclusive, even when nested.
+        assert_eq!(a.slow_factor(0, SimTime::from_secs(5)), 6.0);
+        assert_eq!(a.slow_factor(0, SimTime::from_micros(6_999_999)), 1.5);
+        assert_eq!(a.slow_factor(0, SimTime::from_secs(7)), 1.0);
+    }
+
+    #[test]
+    fn identical_duplicate_windows_square_the_factor() {
+        let p = FaultPlan::none(1)
+            .slow(0, SimTime::from_secs(1), SimTime::from_secs(2), 3.0)
+            .slow(0, SimTime::from_secs(1), SimTime::from_secs(2), 3.0);
+        assert_eq!(p.slow_factor(0, SimTime::from_secs(1)), 9.0);
+    }
+
+    #[test]
+    fn random_rate_extremes_are_deterministic_across_seeds() {
+        let h = SimTime::from_secs(10);
+        for seed in [0, 1, 7, u64::MAX] {
+            // Rate 0 crashes nobody; rate 1 crashes everyone but node 0.
+            assert_eq!(FaultPlan::random(8, seed, 0.0, h).crash_count(), 0);
+            let all = FaultPlan::random(8, seed, 1.0, h);
+            assert_eq!(all.crash_count(), 7);
+            assert!(all.crash_time(0).is_none(), "node 0 spared at rate 1");
+            for (t, _) in all.crash_events() {
+                assert!(t < h, "crash {t} beyond horizon");
+            }
+        }
+        // Degenerate cluster sizes don't panic.
+        assert_eq!(FaultPlan::random(1, 3, 1.0, h).crash_count(), 0);
+        assert_eq!(FaultPlan::random(0, 3, 1.0, h).nodes(), 0);
+    }
+
+    #[test]
+    fn is_alive_at_exact_crash_instant_is_dead_everywhere() {
+        // The exclusive boundary holds at t=0 and at the horizon edge too:
+        // a node crashing at the exact instant a query is made is already
+        // down (crash events fire before same-time work events).
+        let p = FaultPlan::none(3)
+            .crash(1, SimTime::ZERO)
+            .crash(2, SimTime::from_micros(1));
+        assert!(!p.is_alive(1, SimTime::ZERO), "t=0 crash is immediate");
+        assert!(p.is_alive(2, SimTime::ZERO));
+        assert!(!p.is_alive(2, SimTime::from_micros(1)));
+        assert_eq!(
+            p.crash_events(),
+            vec![(SimTime::ZERO, 1), (SimTime::from_micros(1), 2)]
+        );
+        // Re-scripting a crash overrides, never accumulates.
+        let p = p.crash(2, SimTime::from_secs(9));
+        assert!(p.is_alive(2, SimTime::from_micros(1)));
+        assert_eq!(p.crash_count(), 2);
+    }
+
+    #[test]
     #[should_panic]
     fn sub_unity_slow_factor_rejected() {
         let _ = FaultPlan::none(1).slow(0, SimTime::ZERO, SimTime::from_secs(1), 0.5);

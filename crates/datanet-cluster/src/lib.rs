@@ -19,6 +19,7 @@
 //! effects are scheduling effects, which survive this abstraction.
 
 pub mod cluster;
+pub mod detector;
 pub mod event;
 pub mod fault;
 pub mod node;
@@ -26,6 +27,7 @@ pub mod resource;
 pub mod time;
 
 pub use cluster::SimCluster;
+pub use detector::{suspicion_schedule, DetectorConfig, FailureDetector};
 pub use event::EventQueue;
 pub use fault::{FaultPlan, SlowWindow};
 pub use node::{NodeSpec, SimNode};

@@ -21,9 +21,12 @@
 
 use crate::job::JobProfile;
 use crate::report::{ExecutionReport, FaultStats, JobReport, SelectionOutcome};
-use crate::scheduler::MapScheduler;
+use crate::scheduler::{MapScheduler, ResilientScheduler};
+use datanet::store::MetaStore;
 use datanet::AggregationPlan;
-use datanet_cluster::{EventQueue, FaultPlan, NodeSpec, SimCluster, SimTime};
+use datanet_cluster::{
+    suspicion_schedule, DetectorConfig, EventQueue, FaultPlan, NodeSpec, SimCluster, SimTime,
+};
 use datanet_dfs::{BlockId, Dfs, NodeId, SubDatasetId};
 
 /// Fixed per-task cost (scheduling heartbeat, JVM reuse, commit) — Hadoop
@@ -162,6 +165,7 @@ pub fn run_selection(
         total_tasks,
         bytes_read,
         faults: FaultStats::default(),
+        meta: datanet::MetaHealth::default(),
     }
 }
 
@@ -219,14 +223,30 @@ pub struct FaultConfig {
     /// How many times a block may be *re*-executed after crashes before the
     /// engine gives up on it (Hadoop's `mapreduce.map.maxattempts` − 1).
     pub max_retries: u32,
+    /// `Some` switches crash notification from the PR 1 oracle (the engine
+    /// reacts at the exact crash instant) to heartbeat-driven *suspicion*:
+    /// recovery starts only once the failure detector's EWMA deadline
+    /// passes, and every action in between is charged realistically — work
+    /// "completing" on a dead-but-unsuspected node is void.
+    pub detection: Option<DetectorConfig>,
 }
 
 impl FaultConfig {
-    /// A plan with the default Hadoop-like retry budget of 3.
+    /// A plan with the default Hadoop-like retry budget of 3 and oracle
+    /// crash notification (PR 1 semantics).
     pub fn new(plan: FaultPlan) -> Self {
         Self {
             plan,
             max_retries: 3,
+            detection: None,
+        }
+    }
+
+    /// Same, but crashes are learned through the failure detector.
+    pub fn with_detection(plan: FaultPlan, detector: DetectorConfig) -> Self {
+        Self {
+            detection: Some(detector),
+            ..Self::new(plan)
         }
     }
 }
@@ -300,7 +320,13 @@ pub fn run_selection_faulty(
     let mut first_crash: Option<SimTime> = None;
 
     let mut events: EventQueue<FaultEvent> = EventQueue::new();
-    for (t, node) in faults.plan.crash_events() {
+    // Under detection, the engine learns of a crash at the *suspicion*
+    // instant; under the oracle model, at the crash instant itself.
+    let notifications = match faults.detection {
+        Some(det) => suspicion_schedule(&faults.plan, det),
+        None => faults.plan.crash_events(),
+    };
+    for (t, node) in notifications {
         events.push(t, FaultEvent::Crash(NodeId(node as u32)));
     }
     for _ in 0..cfg.slots_per_node {
@@ -313,9 +339,15 @@ pub fn run_selection_faulty(
         match event {
             FaultEvent::Crash(dead) => {
                 alive[dead.index()] = false;
-                first_crash.get_or_insert(now);
+                let crashed_at = faults.plan.crash_time(dead.index()).unwrap_or(now);
+                first_crash.get_or_insert(crashed_at);
                 stats.crashed_nodes.push(dead.index());
-                per_node_end[dead.index()] = now;
+                if faults.detection.is_some() {
+                    stats
+                        .detection_latency_secs
+                        .push((now.saturating_sub(crashed_at)).as_secs_f64());
+                }
+                per_node_end[dead.index()] = crashed_at;
                 // Everything the node produced or was producing is gone.
                 per_node_bytes[dead.index()] = 0;
                 tasks_per_node[dead.index()] = 0;
@@ -349,6 +381,12 @@ pub fn run_selection_faulty(
             FaultEvent::Slot(node) => {
                 if !alive[node.index()] {
                     // The token belonged to a node that died; drop it.
+                    continue;
+                }
+                if !faults.plan.is_alive(node.index(), now) {
+                    // Physically dead but not yet *suspected* (detection
+                    // mode): the node emits nothing. Its completed work and
+                    // credits are reaped when suspicion fires.
                     continue;
                 }
                 // Complete the task this token was running, if any.
@@ -428,7 +466,52 @@ pub fn run_selection_faulty(
         total_tasks,
         bytes_read,
         faults: stats,
+        meta: datanet::MetaHealth::default(),
     }
+}
+
+/// Run the selection phase straight off a (possibly degraded) [`MetaStore`]
+/// — the full degradation ladder, end to end:
+///
+/// 1. [`MetaStore::view_degraded`] assembles the best available view, with
+///    retry, replica failover and quarantine along the way;
+/// 2. a [`ResilientScheduler`] places rung-1/2 blocks with Algorithm 1 and
+///    rung-3 blocks (shard *and* summary lost) with the locality baseline;
+/// 3. the run executes healthily or under fault injection (`faults`);
+/// 4. the outcome's [`SelectionOutcome::meta`] records the store's health
+///    counters, the per-rung block counts, and the relative error of the
+///    degraded Equation 6 estimate against ground truth.
+///
+/// # Panics
+/// Panics if the store's manifest does not cover `dfs`'s blocks.
+pub fn run_selection_resilient(
+    dfs: &Dfs,
+    s: SubDatasetId,
+    store: &mut MetaStore,
+    cfg: &SelectionConfig,
+    faults: Option<&FaultConfig>,
+) -> SelectionOutcome {
+    assert_eq!(
+        store.manifest().blocks,
+        dfs.block_count(),
+        "metadata store describes a different DFS"
+    );
+    let truth = dfs.subdataset_distribution(s);
+    let degraded = store.view_degraded(s);
+    let mut scheduler = ResilientScheduler::new(dfs, &degraded);
+    let mut out = match faults {
+        Some(f) => run_selection_faulty(dfs, &truth, &mut scheduler, cfg, f),
+        None => run_selection(dfs, &truth, &mut scheduler, cfg),
+    };
+    let mut meta = store.health().clone();
+    meta.rungs = degraded.rung_counts();
+    let actual = dfs.subdataset_total(s);
+    if actual > 0 {
+        let est = degraded.view().estimated_total();
+        meta.est_error = (est as f64 - actual as f64).abs() / actual as f64;
+    }
+    out.meta = meta;
+    out
 }
 
 /// Run one analysis job over per-node filtered partitions with the Hadoop
@@ -1207,8 +1290,8 @@ mod tests {
         let plan = datanet_cluster::FaultPlan::none(8).crash(2, crash_at);
         let mut sched = LocalityScheduler::new(&dfs);
         let faults = FaultConfig {
-            plan,
             max_retries: 0,
+            ..FaultConfig::new(plan)
         };
         let out = run_selection_faulty(&dfs, &truth, &mut sched, &cfg, &faults);
         assert!(

@@ -31,12 +31,13 @@ pub mod speculation;
 pub use engine::{
     capability_of, run_analysis, run_analysis_aggregated, run_analysis_hetero,
     run_analysis_surviving, run_pipeline, run_pipeline_faulty, run_selection, run_selection_faulty,
-    AnalysisConfig, FaultConfig, SelectionConfig,
+    run_selection_resilient, AnalysisConfig, FaultConfig, SelectionConfig,
 };
 pub use job::JobProfile;
 pub use report::{ExecutionReport, FaultStats, JobReport, SelectionOutcome};
 pub use scheduler::{
     DataNetScheduler, DelayScheduler, LocalityScheduler, MapScheduler, PlannedScheduler,
+    ResilientScheduler,
 };
 pub use skewtune::{rebalance, MigrationOutcome};
 pub use speculation::{

@@ -1,5 +1,6 @@
 //! Execution reports: everything the paper's figures read off a run.
 
+use datanet::MetaHealth;
 use datanet_cluster::SimTime;
 use datanet_dfs::BlockId;
 use datanet_stats::Summary;
@@ -27,6 +28,10 @@ pub struct FaultStats {
     pub abandoned_blocks: Vec<BlockId>,
     /// Seconds from the first crash to phase completion (0 without faults).
     pub recovery_secs: f64,
+    /// Seconds between each crash and the moment the failure detector
+    /// suspected the node, in crash order. Empty under the oracle model
+    /// (PR 1 semantics: crashes are known instantly).
+    pub detection_latency_secs: Vec<f64>,
 }
 
 impl FaultStats {
@@ -63,6 +68,10 @@ pub struct SelectionOutcome {
     pub bytes_read: u64,
     /// Fault-injection accounting (all-default when the run was fault-free).
     pub faults: FaultStats,
+    /// Metadata-plane health: shards repaired/quarantined, blocks per
+    /// degradation-ladder rung, estimator error (all-default when the
+    /// metadata was fully healthy).
+    pub meta: MetaHealth,
 }
 
 impl SelectionOutcome {
@@ -187,6 +196,7 @@ mod tests {
             total_tasks: 4,
             bytes_read: 1000,
             faults: FaultStats::default(),
+            meta: MetaHealth::default(),
         }
     }
 
@@ -235,6 +245,7 @@ mod tests {
             total_tasks: 0,
             bytes_read: 0,
             faults: FaultStats::default(),
+            meta: MetaHealth::default(),
         };
         assert_eq!(o.locality_fraction(), 1.0);
         assert_eq!(o.imbalance(), 1.0);

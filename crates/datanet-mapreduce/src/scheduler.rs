@@ -5,7 +5,7 @@
 //! is asked for that node's next block.
 
 use datanet::planner::{Algorithm1, Assignment, BalancePolicy};
-use datanet::SubDatasetView;
+use datanet::{DegradedView, RungCounts, SubDatasetView};
 use datanet_dfs::{BlockId, Dfs, NameNode, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -157,6 +157,76 @@ impl MapScheduler for DataNetScheduler {
         // replicas, and recomputes capability-proportional targets over
         // the survivors.
         self.alg.node_lost(node, requeue);
+    }
+}
+
+/// The degradation-ladder scheduler: DataNet placement for every block the
+/// (possibly degraded) metadata still covers — exact sizes on rung 1, the
+/// δ-weighted bloom estimate on rung 2, both inside the wrapped
+/// [`Algorithm1`] — plus the locality baseline for rung-3 blocks whose
+/// shards were lost beyond repair. Membership there is unknowable, so those
+/// blocks cannot be skipped: they are scanned exactly as a metadata-free
+/// Hadoop would scan them, and only them.
+#[derive(Debug, Clone)]
+pub struct ResilientScheduler {
+    alg: Algorithm1,
+    fallback: LocalityScheduler,
+    /// Blocks Algorithm 1 owns (rungs 1–2), for requeue routing.
+    view_blocks: BTreeSet<BlockId>,
+    rungs: RungCounts,
+}
+
+impl ResilientScheduler {
+    /// Build from a degraded metadata read. With a healthy view this
+    /// degenerates to exactly the [`DataNetScheduler`] behaviour (the
+    /// fallback scope is empty).
+    pub fn new(dfs: &Dfs, degraded: &DegradedView) -> Self {
+        let view = degraded.view();
+        Self {
+            alg: Algorithm1::new(dfs, view),
+            fallback: LocalityScheduler::with_scope(
+                dfs.namenode(),
+                degraded.unknown_blocks().iter().copied(),
+            ),
+            view_blocks: view.blocks().collect(),
+            rungs: degraded.rung_counts(),
+        }
+    }
+
+    /// Per-rung block counts of the view this scheduler was built from.
+    pub fn rung_counts(&self) -> RungCounts {
+        self.rungs
+    }
+}
+
+impl MapScheduler for ResilientScheduler {
+    fn next_task(&mut self, node: NodeId) -> Option<(BlockId, bool)> {
+        // Metadata-informed placement first; rung-3 scanning mops up after
+        // — the balanced part of the phase should not wait behind blind
+        // scans of possibly-empty blocks.
+        self.alg
+            .next_task_for(node)
+            .or_else(|| self.fallback.next_task(node))
+    }
+
+    fn remaining(&self) -> usize {
+        self.alg.remaining() + self.fallback.remaining()
+    }
+
+    fn name(&self) -> &'static str {
+        "datanet-resilient"
+    }
+
+    fn node_lost(&mut self, node: NodeId, requeue: &[BlockId]) {
+        // Route each orphan back to whichever rung owned it: Algorithm 1
+        // re-plans its own blocks against the survivors and would reject
+        // rung-3 strays, which belong to the baseline pool.
+        let (planned, unknown): (Vec<BlockId>, Vec<BlockId>) = requeue
+            .iter()
+            .copied()
+            .partition(|b| self.view_blocks.contains(b));
+        self.alg.node_lost(node, &planned);
+        self.fallback.node_lost(node, &unknown);
     }
 }
 
@@ -419,6 +489,93 @@ mod tests {
         }
         assert_eq!(seen.len(), total);
         assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn resilient_with_healthy_view_matches_datanet() {
+        let d = dfs();
+        let view = ElasticMapArray::build(&d, &Separation::All).view(SubDatasetId(0));
+        let healthy = datanet::DegradedView::new(view.clone(), vec![], vec![]);
+        let mut a = DataNetScheduler::new(&d, &view);
+        let mut b = ResilientScheduler::new(&d, &healthy);
+        assert_eq!(a.remaining(), b.remaining());
+        assert!(!b.rung_counts().any_degraded());
+        let mut node = 0u32;
+        loop {
+            let (x, y) = (a.next_task(NodeId(node % 4)), b.next_task(NodeId(node % 4)));
+            assert_eq!(x, y, "identical pull sequence must match");
+            if x.is_none() {
+                break;
+            }
+            node += 1;
+        }
+    }
+
+    #[test]
+    fn resilient_scans_unknown_blocks_after_planned_work() {
+        let d = dfs();
+        let view = ElasticMapArray::build(&d, &Separation::All).view(SubDatasetId(0));
+        // Pretend two blocks outside the view lost their metadata shard.
+        let in_view: std::collections::HashSet<BlockId> = view.blocks().collect();
+        let unknown: Vec<BlockId> = (0..d.block_count() as u32)
+            .map(BlockId)
+            .filter(|b| !in_view.contains(b))
+            .take(2)
+            .collect();
+        assert_eq!(unknown.len(), 2, "need blocks outside the view");
+        let degraded = datanet::DegradedView::new(
+            view.clone(),
+            unknown.clone(),
+            vec![datanet::ShardSource::Lost],
+        );
+        let mut s = ResilientScheduler::new(&d, &degraded);
+        assert_eq!(s.remaining(), view.block_count() + 2);
+        assert_eq!(s.rung_counts().fallback, 2);
+        let mut seen = std::collections::HashSet::new();
+        let mut node = 0u32;
+        while let Some((b, _)) = s.next_task(NodeId(node % 4)) {
+            assert!(seen.insert(b), "block {b} issued twice");
+            node += 1;
+        }
+        for b in &unknown {
+            assert!(seen.contains(b), "rung-3 block {b} must be scanned");
+        }
+        assert_eq!(seen.len(), view.block_count() + 2);
+    }
+
+    #[test]
+    fn resilient_node_lost_routes_requeues_to_the_right_rung() {
+        let d = dfs();
+        let view = ElasticMapArray::build(&d, &Separation::All).view(SubDatasetId(0));
+        let in_view: std::collections::HashSet<BlockId> = view.blocks().collect();
+        let unknown: Vec<BlockId> = (0..d.block_count() as u32)
+            .map(BlockId)
+            .filter(|b| !in_view.contains(b))
+            .collect();
+        assert!(!unknown.is_empty());
+        let degraded = datanet::DegradedView::new(view.clone(), unknown.clone(), vec![]);
+        let mut s = ResilientScheduler::new(&d, &degraded);
+        let total = s.remaining();
+        // Node 1 draws one planned and (after draining its planned share)
+        // rung-3 work too; kill it holding a mixed bag.
+        let mut held = Vec::new();
+        while held.len() < 3 {
+            match s.next_task(NodeId(1)) {
+                Some((b, _)) => held.push(b),
+                None => break,
+            }
+        }
+        let before = s.remaining();
+        s.node_lost(NodeId(1), &held);
+        assert_eq!(s.remaining(), before + held.len());
+        // Survivors still drain everything exactly once.
+        let mut seen = std::collections::HashSet::new();
+        let mut node = 0u32;
+        while let Some((b, _)) = s.next_task(NodeId([0, 2, 3][node as usize % 3])) {
+            assert!(seen.insert(b), "block {b} issued twice");
+            node += 1;
+        }
+        assert_eq!(seen.len(), total);
     }
 
     #[test]

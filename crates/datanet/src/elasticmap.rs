@@ -163,6 +163,11 @@ impl ElasticMap {
         self.bloom_items
     }
 
+    /// The tail bloom filter itself (for bloom-only summary sidecars).
+    pub fn bloom(&self) -> &BloomFilter {
+        &self.bloom
+    }
+
     /// Total distinct sub-datasets recorded.
     pub fn distinct(&self) -> usize {
         self.exact.len() + self.bloom_items

@@ -42,6 +42,7 @@
 pub mod bipartite;
 pub mod bloom;
 pub mod buckets;
+pub mod degrade;
 pub mod distribution;
 pub mod elasticmap;
 pub mod memory;
@@ -52,6 +53,7 @@ pub mod store;
 pub use bipartite::DistributionGraph;
 pub use bloom::BloomFilter;
 pub use buckets::{BucketCounter, Buckets};
+pub use degrade::{DegradedView, MetaHealth, Rung, RungCounts, ShardSource};
 pub use distribution::SubDatasetView;
 pub use elasticmap::{ElasticMap, Separation, SizeInfo};
 pub use memory::MemoryModel;
@@ -60,7 +62,7 @@ pub use planner::{
     BalancePolicy, FordFulkersonPlanner,
 };
 pub use scan::ElasticMapArray;
-pub use store::{Manifest, MetaStore};
+pub use store::{BlockSummary, Manifest, MetaStore, RetryPolicy, ScrubReport, StoreError};
 
 /// Common imports for downstream users.
 pub mod prelude {

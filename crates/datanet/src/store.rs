@@ -1,26 +1,182 @@
-//! Persistent, sharded meta-data storage — the scale-out path the paper
-//! defers ("as the problem size becomes extremely large, the meta-data may
-//! not be able to reside in memory. In such cases, the meta-data can be
-//! stored into a database or distributed among multiple machines",
-//! Section V-B-1).
+//! Persistent, sharded, **replicated** meta-data storage — the scale-out
+//! path the paper defers ("as the problem size becomes extremely large, the
+//! meta-data may not be able to reside in memory. In such cases, the
+//! meta-data can be stored into a database or distributed among multiple
+//! machines", Section V-B-1) made resilient.
 //!
 //! The ElasticMap array is split into fixed-size **shards** of consecutive
-//! blocks, each serialised to its own JSON file next to a manifest. Queries
-//! stream shard-by-shard with a bounded-size cache, so a dataset whose
-//! meta-data exceeds memory can still be scanned for a sub-dataset view.
+//! blocks. Each shard is serialised twice per replica directory (a simulated
+//! datanode):
+//!
+//! * `shard-NNNN.json` — the full ElasticMaps (exact sizes + tail bloom);
+//! * `summary-NNNN.json` — a tiny bloom-only sidecar ([`BlockSummary`]) in
+//!   the spirit of HAIL's per-replica heterogeneous indexes: when every full
+//!   copy of a shard is lost, the summary still answers *membership* (and a
+//!   δ bound), dropping the shard's blocks to rung 2 of the degradation
+//!   ladder instead of rung 3 (see [`crate::degrade`]).
+//!
+//! The [`Manifest`] records a CRC-32 per shard and per summary, so a read
+//! distinguishes corruption from absence. Read paths do bounded same-replica
+//! retries with exponential backoff, then fail over to the next replica;
+//! shards with no healthy copy anywhere are **quarantined** (subsequent
+//! reads fail fast). A [`MetaStore::scrub`] pass detects bad copies and
+//! repairs them from a healthy replica, HDFS-block-scanner style.
+//!
+//! Queries stream shard-by-shard through a bounded LRU cache, so a dataset
+//! whose meta-data exceeds memory can still be scanned for a view.
 
+use crate::bloom::BloomFilter;
+use crate::degrade::{DegradedView, MetaHealth, ShardSource};
 use crate::distribution::SubDatasetView;
-use crate::elasticmap::{ElasticMap, Separation, SizeInfo};
+use crate::elasticmap::{ElasticMap, Separation, SizeInfo, BLOOM_EPSILON};
 use crate::scan::ElasticMapArray;
-use datanet_dfs::SubDatasetId;
-use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use datanet_dfs::{BlockId, SubDatasetId};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Current on-disk format version. Version 1 (no checksums, no summaries)
+/// is still readable: CRC verification is skipped and every shard loss is
+/// rung-3 (no sidecar to fall back to).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Typed errors of the metadata store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A file exists but its contents are invalid: truncated or malformed
+    /// JSON, a checksum mismatch, or fields that fail validation.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The manifest was written by a newer format version than this build
+    /// understands — never a panic, always this typed error.
+    FutureVersion {
+        /// Version found on disk.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The shard was quarantined by an earlier failed read or scrub pass;
+    /// reads fail fast instead of re-probing dead replicas.
+    Quarantined {
+        /// Quarantined shard index.
+        shard: usize,
+    },
+    /// Every replica of the shard failed verification or I/O.
+    AllReplicasFailed {
+        /// Affected shard index.
+        shard: usize,
+        /// Last per-replica failure, for diagnostics.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "metadata i/o error: {e}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt metadata file {}: {detail}", path.display())
+            }
+            StoreError::FutureVersion { found, supported } => write!(
+                f,
+                "metadata format version {found} is newer than supported ({supported})"
+            ),
+            StoreError::Quarantined { shard } => write!(f, "shard {shard} is quarantined"),
+            StoreError::AllReplicasFailed { shard, detail } => {
+                write!(f, "every replica of shard {shard} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, the Ethernet/zip one), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, entry) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *entry = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Bounded retry with exponential backoff for shard reads. The same replica
+/// is tried `attempts_per_replica` times (sleeping between attempts) before
+/// the read fails over to the next replica directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Read attempts per replica (≥ 1).
+    pub attempts_per_replica: u32,
+    /// Sleep before the first same-replica retry, microseconds.
+    pub backoff_base_micros: u64,
+    /// Backoff growth per retry (exponential).
+    pub backoff_multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts_per_replica: 2,
+            backoff_base_micros: 50,
+            backoff_multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based): `base · mult^(retry−1)`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = u64::from(self.backoff_multiplier).saturating_pow(retry.saturating_sub(1));
+        Duration::from_micros(self.backoff_base_micros.saturating_mul(factor))
+    }
+}
 
 /// Manifest describing a sharded meta-data directory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Manifest {
     /// Total number of per-block maps.
     pub blocks: usize,
@@ -30,6 +186,47 @@ pub struct Manifest {
     pub policy: Separation,
     /// Format version for forward compatibility.
     pub version: u32,
+    /// CRC-32 of each `shard-NNNN.json` (empty for v1 stores: verification
+    /// skipped).
+    pub shard_crc: Vec<u32>,
+    /// CRC-32 of each `summary-NNNN.json` (empty for v1 stores).
+    pub summary_crc: Vec<u32>,
+}
+
+// Hand-written so that (a) a v1 manifest without checksum fields still
+// loads (they default to empty), and (b) a future-versioned manifest is
+// rejected with a clear message instead of a field-shape decode error.
+// The vendored serde derive has no `#[serde(default)]`, hence manual.
+impl Deserialize for Manifest {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(DeError::expected("manifest object", v));
+        }
+        let field = |name: &str| -> Result<&Value, DeError> {
+            v.get(name)
+                .ok_or_else(|| DeError::msg(format!("manifest missing field `{name}`")))
+        };
+        let version = u32::from_value(field("version")?)?;
+        if version > FORMAT_VERSION {
+            return Err(DeError::msg(format!(
+                "manifest version {version} is newer than supported ({FORMAT_VERSION})"
+            )));
+        }
+        let crc_list = |name: &str| -> Result<Vec<u32>, DeError> {
+            match v.get(name) {
+                None | Some(Value::Null) => Ok(Vec::new()),
+                Some(list) => Vec::<u32>::from_value(list),
+            }
+        };
+        Ok(Self {
+            blocks: usize::from_value(field("blocks")?)?,
+            shard_blocks: usize::from_value(field("shard_blocks")?)?,
+            policy: Separation::from_value(field("policy")?)?,
+            version,
+            shard_crc: crc_list("shard_crc")?,
+            summary_crc: crc_list("summary_crc")?,
+        })
+    }
 }
 
 impl Manifest {
@@ -37,69 +234,274 @@ impl Manifest {
     pub fn shard_count(&self) -> usize {
         self.blocks.div_ceil(self.shard_blocks)
     }
+
+    /// Expected CRC of shard `i`, when the store records checksums.
+    fn expected_shard_crc(&self, i: usize) -> Option<u32> {
+        self.shard_crc.get(i).copied()
+    }
+
+    /// Expected CRC of summary `i`, when the store records checksums.
+    fn expected_summary_crc(&self, i: usize) -> Option<u32> {
+        self.summary_crc.get(i).copied()
+    }
 }
 
-/// On-disk handle to sharded meta-data.
+/// Bloom-only metadata summary of one block — the sidecar that keeps a
+/// block on rung 2 when its full ElasticMap is lost.
+///
+/// A bloom filter cannot be enumerated, so the summary carries **two**
+/// filters: a fresh one over the sub-datasets the full map stored exactly
+/// (`head`), plus a copy of the full map's existing tail filter (`tail`).
+/// Membership is the union; δ is the smallest known per-sub-dataset size in
+/// the block. No sizes survive — that is the point: the summary is a few
+/// bytes per sub-dataset, cheap enough to replicate everywhere.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockSummary {
+    block: BlockId,
+    head: BloomFilter,
+    tail: BloomFilter,
+    delta: u64,
+}
+
+impl BlockSummary {
+    /// Summarise a full ElasticMap.
+    pub fn of(map: &ElasticMap) -> Self {
+        let mut head = BloomFilter::with_rate(map.exact_len().max(1), BLOOM_EPSILON);
+        let mut min_exact: Option<u64> = None;
+        for (id, size) in map.exact_entries() {
+            head.insert(id);
+            min_exact = Some(min_exact.map_or(size, |m| m.min(size)));
+        }
+        let delta = match (min_exact, map.bloom_len()) {
+            (Some(e), n) if n > 0 => e.min(map.bloom_delta_hint()),
+            (Some(e), _) => e,
+            (None, n) if n > 0 => map.bloom_delta_hint(),
+            _ => 0,
+        };
+        Self {
+            block: map.block(),
+            head,
+            tail: map.bloom().clone(),
+            delta,
+        }
+    }
+
+    /// The block this summary describes.
+    pub fn block(&self) -> BlockId {
+        self.block
+    }
+
+    /// Whether the sub-dataset *may* be present (no false negatives).
+    pub fn contains(&self, s: SubDatasetId) -> bool {
+        self.head.contains(s) || self.tail.contains(s)
+    }
+
+    /// δ bound: smallest known per-sub-dataset size in the block.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+}
+
+/// What one scrub pass found and fixed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Shards examined.
+    pub scrubbed: usize,
+    /// Bad or missing shard copies rewritten from a healthy replica.
+    pub repaired: usize,
+    /// Bad or missing summary copies rewritten from a healthy replica.
+    pub summaries_repaired: usize,
+    /// Replica manifests rewritten from the in-memory manifest.
+    pub manifests_repaired: usize,
+    /// Shards with no healthy full copy anywhere — quarantined.
+    pub quarantined: Vec<usize>,
+    /// Shards whose summaries are also gone everywhere (rung 3 on loss).
+    pub summaries_lost: Vec<usize>,
+}
+
+/// Why a single-replica read failed (drives health counters).
+enum ReadFail {
+    Io(io::Error),
+    Corrupt(String),
+}
+
+impl ReadFail {
+    fn describe(&self) -> String {
+        match self {
+            ReadFail::Io(e) => e.to_string(),
+            ReadFail::Corrupt(d) => d.clone(),
+        }
+    }
+}
+
+/// On-disk handle to sharded, replicated meta-data.
 #[derive(Debug)]
 pub struct MetaStore {
-    dir: PathBuf,
+    /// Replica directories in read-preference order.
+    dirs: Vec<PathBuf>,
     manifest: Manifest,
-    /// Tiny FIFO cache of decoded shards: (shard index, maps).
+    /// LRU cache of decoded shards: back = most recently used.
     cache: VecDeque<(usize, Vec<ElasticMap>)>,
     cache_shards: usize,
+    retry: RetryPolicy,
+    /// Shards with no healthy full copy; reads fail fast.
+    quarantined: BTreeSet<usize>,
+    /// Running resilience accounting (reads, repairs, quarantines).
+    health: MetaHealth,
 }
 
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+fn shard_file(i: usize) -> String {
+    format!("shard-{i:04}.json")
+}
+
+fn summary_file(i: usize) -> String {
+    format!("summary-{i:04}.json")
+}
 
 impl MetaStore {
     /// Persist an [`ElasticMapArray`] into `dir` (created if needed) as
-    /// `manifest.json` plus `shard-NNNN.json` files of `shard_blocks`
-    /// consecutive blocks each.
+    /// `manifest.json` plus `shard-NNNN.json` / `summary-NNNN.json` files of
+    /// `shard_blocks` consecutive blocks each. Single-replica convenience
+    /// for [`MetaStore::save_replicated`].
     ///
     /// # Errors
     /// I/O or serialisation failures.
     ///
     /// # Panics
     /// Panics if `shard_blocks == 0`.
-    pub fn save(array: &ElasticMapArray, dir: &Path, shard_blocks: usize) -> io::Result<()> {
+    pub fn save(
+        array: &ElasticMapArray,
+        dir: &Path,
+        shard_blocks: usize,
+    ) -> Result<(), StoreError> {
+        Self::save_replicated(array, &[dir], shard_blocks)
+    }
+
+    /// Persist an [`ElasticMapArray`] into every directory of `dirs` — k-way
+    /// replication across simulated datanodes. Shards and summaries are
+    /// serialised once; every replica gets byte-identical files, so the
+    /// manifest's CRCs hold for all of them.
+    ///
+    /// # Errors
+    /// I/O or serialisation failures.
+    ///
+    /// # Panics
+    /// Panics if `shard_blocks == 0` or `dirs` is empty.
+    pub fn save_replicated(
+        array: &ElasticMapArray,
+        dirs: &[&Path],
+        shard_blocks: usize,
+    ) -> Result<(), StoreError> {
         assert!(shard_blocks > 0, "shards must hold at least one block");
-        fs::create_dir_all(dir)?;
+        assert!(!dirs.is_empty(), "need at least one replica directory");
+        let mut shard_bytes = Vec::new();
+        let mut summary_bytes = Vec::new();
+        let mut shard_crc = Vec::new();
+        let mut summary_crc = Vec::new();
+        for chunk in array.maps().chunks(shard_blocks) {
+            let bytes = serde_json::to_vec(&chunk).map_err(io::Error::from)?;
+            shard_crc.push(crc32(&bytes));
+            shard_bytes.push(bytes);
+            let summaries: Vec<BlockSummary> = chunk.iter().map(BlockSummary::of).collect();
+            let bytes = serde_json::to_vec(&summaries).map_err(io::Error::from)?;
+            summary_crc.push(crc32(&bytes));
+            summary_bytes.push(bytes);
+        }
         let manifest = Manifest {
             blocks: array.len(),
             shard_blocks,
             policy: array.policy().clone(),
             version: FORMAT_VERSION,
+            shard_crc,
+            summary_crc,
         };
-        fs::write(
-            dir.join("manifest.json"),
-            serde_json::to_vec_pretty(&manifest)?,
-        )?;
-        for (i, chunk) in array.maps().chunks(shard_blocks).enumerate() {
-            let path = dir.join(format!("shard-{i:04}.json"));
-            fs::write(path, serde_json::to_vec(&chunk)?)?;
+        let manifest_bytes = serde_json::to_vec_pretty(&manifest).map_err(io::Error::from)?;
+        for dir in dirs {
+            fs::create_dir_all(dir)?;
+            fs::write(dir.join("manifest.json"), &manifest_bytes)?;
+            for (i, bytes) in shard_bytes.iter().enumerate() {
+                fs::write(dir.join(shard_file(i)), bytes)?;
+            }
+            for (i, bytes) in summary_bytes.iter().enumerate() {
+                fs::write(dir.join(summary_file(i)), bytes)?;
+            }
         }
         Ok(())
     }
 
-    /// Open a persisted store with a cache of `cache_shards` decoded shards
-    /// (FIFO eviction; 0 disables caching).
+    /// Open a persisted single-replica store with a cache of `cache_shards`
+    /// decoded shards (LRU eviction; 0 disables caching).
     ///
     /// # Errors
-    /// Missing/corrupt manifest or an unsupported format version.
-    pub fn open(dir: &Path, cache_shards: usize) -> io::Result<Self> {
-        let manifest: Manifest = serde_json::from_slice(&fs::read(dir.join("manifest.json"))?)?;
-        if manifest.version != FORMAT_VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported meta-data version {}", manifest.version),
-            ));
+    /// Missing/corrupt manifest or an unsupported future format version.
+    pub fn open(dir: &Path, cache_shards: usize) -> Result<Self, StoreError> {
+        Self::open_replicated(&[dir], cache_shards)
+    }
+
+    /// Open a store replicated across `dirs`. The manifest is taken from
+    /// the first replica that yields a valid one; shard reads fail over
+    /// across all of them.
+    ///
+    /// # Errors
+    /// [`StoreError::FutureVersion`] as soon as any replica's manifest is
+    /// newer than this build; otherwise the last per-replica failure when
+    /// no replica has a readable manifest.
+    ///
+    /// # Panics
+    /// Panics if `dirs` is empty.
+    pub fn open_replicated(dirs: &[&Path], cache_shards: usize) -> Result<Self, StoreError> {
+        assert!(!dirs.is_empty(), "need at least one replica directory");
+        let mut last_err: Option<StoreError> = None;
+        let mut manifest: Option<Manifest> = None;
+        for dir in dirs {
+            match Self::read_manifest(dir) {
+                Ok(m) => {
+                    manifest = Some(m);
+                    break;
+                }
+                Err(e @ StoreError::FutureVersion { .. }) => return Err(e),
+                Err(e) => last_err = Some(e),
+            }
         }
+        let Some(manifest) = manifest else {
+            return Err(last_err.expect("at least one replica was tried"));
+        };
         Ok(Self {
-            dir: dir.to_path_buf(),
+            dirs: dirs.iter().map(|d| d.to_path_buf()).collect(),
             manifest,
             cache: VecDeque::new(),
             cache_shards,
+            retry: RetryPolicy::default(),
+            quarantined: BTreeSet::new(),
+            health: MetaHealth::default(),
+        })
+    }
+
+    /// Decode one replica's manifest, distinguishing future versions from
+    /// corruption *before* the full decode (a future manifest may have
+    /// fields this build cannot even parse).
+    fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+        let path = dir.join("manifest.json");
+        let bytes = fs::read(&path)?;
+        let value = serde_json::parse_value(&bytes).map_err(|e| StoreError::Corrupt {
+            path: path.clone(),
+            detail: e.to_string(),
+        })?;
+        if let Some(v) = value.get("version") {
+            let found = u32::from_value(v).map_err(|e| StoreError::Corrupt {
+                path: path.clone(),
+                detail: e.to_string(),
+            })?;
+            if found > FORMAT_VERSION {
+                return Err(StoreError::FutureVersion {
+                    found,
+                    supported: FORMAT_VERSION,
+                });
+            }
+        }
+        Manifest::from_value(&value).map_err(|e| StoreError::Corrupt {
+            path,
+            detail: e.to_string(),
         })
     }
 
@@ -108,23 +510,136 @@ impl MetaStore {
         &self.manifest
     }
 
-    /// Load one shard (through the cache).
+    /// Replica directories, read-preference order.
+    pub fn replica_dirs(&self) -> &[PathBuf] {
+        &self.dirs
+    }
+
+    /// Override the read retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        assert!(retry.attempts_per_replica >= 1, "need at least one attempt");
+        self.retry = retry;
+    }
+
+    /// Resilience accounting accumulated by this handle's reads and scrubs.
+    pub fn health(&self) -> &MetaHealth {
+        &self.health
+    }
+
+    /// Currently quarantined shard indices.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Blocks covered by shard `i`: `[start, end)`.
+    fn shard_span(&self, i: usize) -> (usize, usize) {
+        let start = i * self.manifest.shard_blocks;
+        let end = (start + self.manifest.shard_blocks).min(self.manifest.blocks);
+        (start, end)
+    }
+
+    /// One verified read attempt of `file` in `dir`.
+    fn try_read(dir: &Path, file: &str, expect_crc: Option<u32>) -> Result<Vec<u8>, ReadFail> {
+        let bytes = fs::read(dir.join(file)).map_err(ReadFail::Io)?;
+        if let Some(want) = expect_crc {
+            let got = crc32(&bytes);
+            if got != want {
+                return Err(ReadFail::Corrupt(format!(
+                    "checksum mismatch: recorded {want:#010x}, computed {got:#010x}"
+                )));
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Read `file` with bounded retry + backoff per replica, failing over
+    /// across replicas; `decode` validates and parses the verified bytes.
+    fn read_with_failover<T>(
+        &mut self,
+        shard: usize,
+        file: &str,
+        expect_crc: Option<u32>,
+        decode: impl Fn(&[u8]) -> Result<T, String>,
+    ) -> Result<T, StoreError> {
+        let mut last = String::from("no replica tried");
+        for (d, dir) in self.dirs.clone().iter().enumerate() {
+            if d > 0 {
+                self.health.failovers += 1;
+            }
+            for attempt in 0..self.retry.attempts_per_replica {
+                if attempt > 0 {
+                    self.health.retries += 1;
+                    std::thread::sleep(self.retry.backoff(attempt));
+                }
+                let outcome = Self::try_read(dir, file, expect_crc)
+                    .and_then(|bytes| decode(&bytes).map_err(ReadFail::Corrupt));
+                match outcome {
+                    Ok(v) => return Ok(v),
+                    Err(fail) => {
+                        match &fail {
+                            ReadFail::Io(_) => self.health.io_failures += 1,
+                            ReadFail::Corrupt(_) => self.health.checksum_failures += 1,
+                        }
+                        last = format!("{}: {}", dir.join(file).display(), fail.describe());
+                    }
+                }
+            }
+        }
+        Err(StoreError::AllReplicasFailed {
+            shard,
+            detail: last,
+        })
+    }
+
+    /// Mark a shard irreparable; counts once per shard.
+    fn quarantine(&mut self, shard: usize) {
+        if self.quarantined.insert(shard) {
+            self.health.shards_quarantined += 1;
+        }
+    }
+
+    /// Load one shard (through the LRU cache), retrying and failing over
+    /// across replicas. An exhausted read quarantines the shard.
     ///
     /// # Errors
-    /// Missing or corrupt shard file.
-    pub fn shard(&mut self, index: usize) -> io::Result<&[ElasticMap]> {
+    /// [`StoreError::Quarantined`] for known-dead shards,
+    /// [`StoreError::AllReplicasFailed`] when every replica fails now.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn shard(&mut self, index: usize) -> Result<&[ElasticMap], StoreError> {
         assert!(
             index < self.manifest.shard_count(),
             "shard {index} out of range"
         );
         if let Some(pos) = self.cache.iter().position(|(i, _)| *i == index) {
-            // Borrow-checker friendly: move to the back, then return it.
+            // LRU touch-on-hit: move to the back, then return it.
             let entry = self.cache.remove(pos).expect("position is valid");
             self.cache.push_back(entry);
             return Ok(&self.cache.back().expect("just pushed").1);
         }
-        let path = self.dir.join(format!("shard-{index:04}.json"));
-        let maps: Vec<ElasticMap> = serde_json::from_slice(&fs::read(path)?)?;
+        if self.quarantined.contains(&index) {
+            return Err(StoreError::Quarantined { shard: index });
+        }
+        let (start, end) = self.shard_span(index);
+        let expect = self.manifest.expected_shard_crc(index);
+        let maps = match self.read_with_failover(index, &shard_file(index), expect, |bytes| {
+            let maps: Vec<ElasticMap> = serde_json::from_slice(bytes).map_err(|e| e.to_string())?;
+            if maps.len() != end - start {
+                return Err(format!(
+                    "expected {} block maps, found {}",
+                    end - start,
+                    maps.len()
+                ));
+            }
+            Ok(maps)
+        }) {
+            Ok(maps) => maps,
+            Err(e) => {
+                self.quarantine(index);
+                return Err(e);
+            }
+        };
         if self.cache_shards == 0 {
             // No caching: keep exactly one transient slot.
             self.cache.clear();
@@ -138,8 +653,34 @@ impl MetaStore {
         Ok(&self.cache.back().expect("just pushed").1)
     }
 
-    /// Indices of the shards currently decoded in the cache, oldest first
-    /// (the front is the next eviction victim).
+    /// Load one shard's bloom-only summary sidecar (uncached — summaries
+    /// are a few bytes per block).
+    ///
+    /// # Errors
+    /// Every replica failed, or the store predates summaries (v1).
+    pub fn summary(&mut self, index: usize) -> Result<Vec<BlockSummary>, StoreError> {
+        assert!(
+            index < self.manifest.shard_count(),
+            "shard {index} out of range"
+        );
+        let (start, end) = self.shard_span(index);
+        let expect = self.manifest.expected_summary_crc(index);
+        self.read_with_failover(index, &summary_file(index), expect, |bytes| {
+            let sums: Vec<BlockSummary> =
+                serde_json::from_slice(bytes).map_err(|e| e.to_string())?;
+            if sums.len() != end - start {
+                return Err(format!(
+                    "expected {} block summaries, found {}",
+                    end - start,
+                    sums.len()
+                ));
+            }
+            Ok(sums)
+        })
+    }
+
+    /// Indices of the shards currently decoded in the cache, least recently
+    /// used first (the front is the next eviction victim).
     pub fn cached_shards(&self) -> Vec<usize> {
         self.cache.iter().map(|(i, _)| *i).collect()
     }
@@ -147,8 +688,12 @@ impl MetaStore {
     /// Query one `(block, sub-dataset)` cell from disk.
     ///
     /// # Errors
-    /// Shard I/O failures.
-    pub fn query(&mut self, block: datanet_dfs::BlockId, s: SubDatasetId) -> io::Result<SizeInfo> {
+    /// Shard read failures (after retry/failover).
+    pub fn query(
+        &mut self,
+        block: datanet_dfs::BlockId,
+        s: SubDatasetId,
+    ) -> Result<SizeInfo, StoreError> {
         let shard = block.index() / self.manifest.shard_blocks;
         let offset = block.index() % self.manifest.shard_blocks;
         Ok(self.shard(shard)?[offset].query(s))
@@ -156,11 +701,12 @@ impl MetaStore {
 
     /// Stream all shards to assemble a sub-dataset view — identical result
     /// to [`ElasticMapArray::view`], without holding the full array in
-    /// memory.
+    /// memory. Strict rung-1 semantics: any unreadable shard is an error
+    /// (use [`MetaStore::view_degraded`] to keep going).
     ///
     /// # Errors
-    /// Shard I/O failures.
-    pub fn view(&mut self, s: SubDatasetId) -> io::Result<SubDatasetView> {
+    /// Shard read failures (after retry/failover).
+    pub fn view(&mut self, s: SubDatasetId) -> Result<SubDatasetView, StoreError> {
         let mut exact = Vec::new();
         let mut bloom = Vec::new();
         let mut delta_hint = u64::MAX;
@@ -179,13 +725,144 @@ impl MetaStore {
         Ok(SubDatasetView::new(s, exact, bloom, delta_hint))
     }
 
-    /// Total serialized bytes on disk (manifest + shards).
+    /// Assemble a sub-dataset view under metadata failures — the degradation
+    /// ladder's read path. Never fails: per shard it tries the full copy
+    /// (rung 1/2), then the bloom-only summary (rung 2), and finally gives
+    /// the shard's whole block span to the rung-3 unknown pool.
+    pub fn view_degraded(&mut self, s: SubDatasetId) -> DegradedView {
+        let mut exact = Vec::new();
+        let mut bloom = Vec::new();
+        let mut delta_hint = u64::MAX;
+        let mut unknown = Vec::new();
+        let mut sources = Vec::new();
+        for i in 0..self.manifest.shard_count() {
+            match self.shard(i) {
+                Ok(maps) => {
+                    for m in maps {
+                        match m.query(s) {
+                            SizeInfo::Exact(sz) => exact.push((m.block(), sz)),
+                            SizeInfo::Approximate => {
+                                bloom.push(m.block());
+                                delta_hint = delta_hint.min(m.bloom_delta_hint());
+                            }
+                            SizeInfo::Absent => {}
+                        }
+                    }
+                    sources.push(ShardSource::Full);
+                }
+                Err(_) => match self.summary(i) {
+                    Ok(sums) => {
+                        for sum in &sums {
+                            if sum.contains(s) {
+                                bloom.push(sum.block());
+                                delta_hint = delta_hint.min(sum.delta());
+                            }
+                        }
+                        sources.push(ShardSource::Summary);
+                    }
+                    Err(_) => {
+                        let (start, end) = self.shard_span(i);
+                        unknown.extend((start..end).map(|b| BlockId(b as u32)));
+                        sources.push(ShardSource::Lost);
+                    }
+                },
+            }
+        }
+        DegradedView::new(
+            SubDatasetView::new(s, exact, bloom, delta_hint),
+            unknown,
+            sources,
+        )
+    }
+
+    /// Background scrub: verify every copy of every shard and summary,
+    /// repair bad copies from a healthy replica (HDFS block-scanner style),
+    /// quarantine shards with no healthy copy anywhere, and lift the
+    /// quarantine of shards that verify again (e.g. after an operator
+    /// restored files).
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut report = ScrubReport {
+            scrubbed: self.manifest.shard_count(),
+            ..ScrubReport::default()
+        };
+        self.health.shards_scrubbed += self.manifest.shard_count();
+
+        // Replica manifests first: a healthy shard copy is unreachable on a
+        // replica whose manifest is gone.
+        let manifest_bytes =
+            serde_json::to_vec_pretty(&self.manifest).expect("manifest serialises");
+        for dir in self.dirs.clone() {
+            if Self::read_manifest(&dir).is_err() && fs::create_dir_all(&dir).is_ok() {
+                let _ = fs::write(dir.join("manifest.json"), &manifest_bytes);
+                report.manifests_repaired += 1;
+            }
+        }
+
+        for i in 0..self.manifest.shard_count() {
+            let repaired = self.scrub_file(&shard_file(i), self.manifest.expected_shard_crc(i));
+            match repaired {
+                Some(n) => {
+                    report.repaired += n;
+                    self.health.shards_repaired += n;
+                    if self.quarantined.remove(&i) {
+                        // Healthy again: lift the quarantine.
+                        self.health.shards_quarantined =
+                            self.health.shards_quarantined.saturating_sub(1);
+                    }
+                }
+                None => {
+                    self.quarantine(i);
+                    report.quarantined.push(i);
+                }
+            }
+            let summaries =
+                self.scrub_file(&summary_file(i), self.manifest.expected_summary_crc(i));
+            match summaries {
+                Some(n) => {
+                    report.summaries_repaired += n;
+                    self.health.summaries_repaired += n;
+                }
+                None => report.summaries_lost.push(i),
+            }
+        }
+        report
+    }
+
+    /// Scrub one file across all replicas. Returns the number of bad copies
+    /// rewritten from a healthy one, or `None` when no copy verifies.
+    fn scrub_file(&mut self, file: &str, expect_crc: Option<u32>) -> Option<usize> {
+        let dirs = self.dirs.clone();
+        let mut healthy: Option<Vec<u8>> = None;
+        let mut bad: Vec<&PathBuf> = Vec::new();
+        for dir in &dirs {
+            match Self::try_read(dir, file, expect_crc) {
+                // Without recorded CRCs (v1), "verifies" = parses as JSON.
+                Ok(bytes) if expect_crc.is_some() || serde_json::parse_value(&bytes).is_ok() => {
+                    if healthy.is_none() {
+                        healthy = Some(bytes);
+                    }
+                }
+                Ok(_) | Err(_) => bad.push(dir),
+            }
+        }
+        let healthy = healthy?;
+        let mut repaired = 0;
+        for dir in bad {
+            if fs::write(dir.join(file), &healthy).is_ok() {
+                repaired += 1;
+            }
+        }
+        Some(repaired)
+    }
+
+    /// Total serialized bytes on disk in the primary replica directory
+    /// (manifest + shards + summaries).
     ///
     /// # Errors
     /// Directory traversal failures.
-    pub fn disk_bytes(&self) -> io::Result<u64> {
+    pub fn disk_bytes(&self) -> Result<u64, StoreError> {
         let mut total = 0;
-        for entry in fs::read_dir(&self.dir)? {
+        for entry in fs::read_dir(&self.dirs[0])? {
             total += entry?.metadata()?.len();
         }
         Ok(total)
@@ -195,12 +872,17 @@ impl MetaStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::degrade::Rung;
     use datanet_dfs::{BlockId, Dfs, DfsConfig, Record, Topology};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("datanet-store-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn replica_dirs(tag: &str, k: usize) -> Vec<PathBuf> {
+        (0..k).map(|i| tmpdir(&format!("{tag}-r{i}"))).collect()
     }
 
     fn sample_array() -> (Dfs, ElasticMapArray) {
@@ -220,12 +902,36 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential() {
+        let r = RetryPolicy {
+            attempts_per_replica: 4,
+            backoff_base_micros: 100,
+            backoff_multiplier: 2,
+        };
+        assert_eq!(r.backoff(1), Duration::from_micros(100));
+        assert_eq!(r.backoff(2), Duration::from_micros(200));
+        assert_eq!(r.backoff(3), Duration::from_micros(400));
+    }
+
+    #[test]
     fn roundtrip_preserves_queries_and_views() {
         let (_dfs, arr) = sample_array();
         let dir = tmpdir("roundtrip");
         MetaStore::save(&arr, &dir, 7).unwrap();
         let mut store = MetaStore::open(&dir, 2).unwrap();
         assert_eq!(store.manifest().blocks, arr.len());
+        assert_eq!(store.manifest().version, FORMAT_VERSION);
+        assert_eq!(
+            store.manifest().shard_crc.len(),
+            store.manifest().shard_count()
+        );
         for b in 0..arr.len() {
             for s in 0..60u64 {
                 assert_eq!(
@@ -252,9 +958,10 @@ mod tests {
         let m = store.manifest();
         assert_eq!(m.shard_count(), arr.len().div_ceil(4));
         assert!(store.disk_bytes().unwrap() > 0);
-        // Every shard file exists.
+        // Every shard and summary file exists.
         for i in 0..m.shard_count() {
-            assert!(dir.join(format!("shard-{i:04}.json")).exists());
+            assert!(dir.join(shard_file(i)).exists());
+            assert!(dir.join(summary_file(i)).exists());
         }
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -303,6 +1010,34 @@ mod tests {
     }
 
     #[test]
+    fn lru_hot_shard_survives_eviction_pressure() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("lru-hot");
+        MetaStore::save(&arr, &dir, 3).unwrap();
+        let mut store = MetaStore::open(&dir, 2).unwrap();
+        let count = store.manifest().shard_count();
+        assert!(count >= 4, "need >= 4 shards for real pressure");
+
+        // Sweep every other shard repeatedly while re-touching shard 0
+        // between each: under FIFO, shard 0 would be evicted once two other
+        // shards had been loaded after it; under LRU the touch keeps it.
+        store.shard(0).unwrap();
+        for pass in 0..3 {
+            for i in 1..count {
+                store.shard(i).unwrap();
+                store.shard(0).unwrap();
+                assert!(
+                    store.cached_shards().contains(&0),
+                    "pass {pass}: hot shard evicted under pressure from shard {i}"
+                );
+            }
+        }
+        // The hot shard is served from cache even after total disk loss.
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(store.shard(0).is_ok(), "hot shard must still be cached");
+    }
+
+    #[test]
     fn cache_hit_serves_even_after_disk_loss() {
         let (_dfs, arr) = sample_array();
         let dir = tmpdir("hit");
@@ -317,11 +1052,12 @@ mod tests {
         // A fresh store must go to disk and hit the corruption.
         let mut fresh = MetaStore::open(&dir, 4).unwrap();
         assert!(fresh.query(BlockId(0), SubDatasetId(3)).is_err());
+        assert!(fresh.health().checksum_failures > 0, "CRC caught it");
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_or_missing_shard_is_an_error() {
+    fn corrupt_or_missing_shard_is_an_error_and_quarantines() {
         let (_dfs, arr) = sample_array();
         let dir = tmpdir("corrupt");
         MetaStore::save(&arr, &dir, 6).unwrap();
@@ -334,25 +1070,33 @@ mod tests {
         // Truncated JSON in the middle of a shard.
         fs::write(dir.join("shard-0001.json"), b"[{\"trunc").unwrap();
         let mut store = MetaStore::open(&dir, 1).unwrap();
-        assert!(store.shard(1).is_err());
+        assert!(matches!(
+            store.shard(1),
+            Err(StoreError::AllReplicasFailed { shard: 1, .. })
+        ));
+        // The failed shard is quarantined: the next read fails fast.
+        assert_eq!(store.quarantined_shards(), vec![1]);
+        assert!(matches!(
+            store.shard(1),
+            Err(StoreError::Quarantined { shard: 1 })
+        ));
         // Other shards are unaffected.
         assert!(store.shard(0).is_ok());
 
-        // A deleted shard file surfaces as NotFound.
-        fs::remove_file(dir.join(format!("shard-{:04}.json", count - 1))).unwrap();
-        let err = store.shard(count - 1).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::NotFound);
-        // Streaming a view over the broken directory fails too.
+        // A deleted shard file surfaces as an I/O failure underneath.
+        fs::remove_file(dir.join(shard_file(count - 1))).unwrap();
+        assert!(store.shard(count - 1).is_err());
+        assert!(store.health().io_failures > 0);
+        // Streaming a strict view over the broken directory fails too.
         assert!(store.view(SubDatasetId(0)).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn version_mismatch_is_rejected() {
+    fn future_version_is_a_typed_error() {
         let (_dfs, arr) = sample_array();
-        let dir = tmpdir("version");
+        let dir = tmpdir("future");
         MetaStore::save(&arr, &dir, 8).unwrap();
-        // Corrupt the version.
         let mut manifest: Manifest =
             serde_json::from_slice(&fs::read(dir.join("manifest.json")).unwrap()).unwrap();
         manifest.version = 999;
@@ -361,7 +1105,63 @@ mod tests {
             serde_json::to_vec(&manifest).unwrap(),
         )
         .unwrap();
-        assert!(MetaStore::open(&dir, 1).is_err());
+        match MetaStore::open(&dir, 1) {
+            Err(StoreError::FutureVersion { found, supported }) => {
+                assert_eq!(found, 999);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected FutureVersion, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_or_corrupt_manifest_is_a_typed_error() {
+        let dir = tmpdir("trunc-manifest");
+        fs::create_dir_all(&dir).unwrap();
+        // Truncated mid-object.
+        fs::write(dir.join("manifest.json"), b"{\"blocks\": 12, \"shard_b").unwrap();
+        assert!(matches!(
+            MetaStore::open(&dir, 1),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Valid JSON, wrong shape.
+        fs::write(dir.join("manifest.json"), b"[1, 2, 3]").unwrap();
+        assert!(matches!(
+            MetaStore::open(&dir, 1),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Valid object, missing required field.
+        fs::write(dir.join("manifest.json"), b"{\"version\": 2}").unwrap();
+        match MetaStore::open(&dir, 1) {
+            Err(StoreError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("missing field"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_manifest_without_checksums_still_opens() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("v1");
+        MetaStore::save(&arr, &dir, 7).unwrap();
+        // Rewrite the manifest as version 1 without the CRC fields.
+        let m: Manifest =
+            serde_json::from_slice(&fs::read(dir.join("manifest.json")).unwrap()).unwrap();
+        let v1 = format!(
+            "{{\"blocks\": {}, \"shard_blocks\": {}, \"policy\": {}, \"version\": 1}}",
+            m.blocks,
+            m.shard_blocks,
+            serde_json::to_string(&m.policy).unwrap()
+        );
+        fs::write(dir.join("manifest.json"), v1).unwrap();
+        let mut store = MetaStore::open(&dir, 2).unwrap();
+        assert_eq!(store.manifest().version, 1);
+        assert!(store.manifest().shard_crc.is_empty());
+        // Reads work, just without CRC verification.
+        assert!(store.view(SubDatasetId(0)).is_ok());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -369,5 +1169,185 @@ mod tests {
     fn missing_manifest_is_an_error() {
         let dir = tmpdir("missing");
         assert!(MetaStore::open(&dir, 1).is_err());
+    }
+
+    #[test]
+    fn replicated_read_fails_over_on_corruption() {
+        let (_dfs, arr) = sample_array();
+        let dirs = replica_dirs("failover", 3);
+        let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+        MetaStore::save_replicated(&arr, &refs, 5).unwrap();
+
+        // Corrupt shard 0 in the primary, delete it in the secondary: the
+        // tertiary still serves it, transparently.
+        fs::write(dirs[0].join("shard-0000.json"), b"garbage").unwrap();
+        fs::remove_file(dirs[1].join("shard-0000.json")).unwrap();
+        let mut store = MetaStore::open_replicated(&refs, 2).unwrap();
+        let view = store.view(SubDatasetId(1)).unwrap();
+        assert_eq!(view, arr.view(SubDatasetId(1)));
+        assert!(store.health().failovers >= 2, "two replicas were skipped");
+        assert!(store.health().checksum_failures > 0);
+        assert!(store.health().io_failures > 0);
+        assert!(store.quarantined_shards().is_empty());
+        for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn scrub_repairs_bad_copies_from_healthy_replica() {
+        let (_dfs, arr) = sample_array();
+        let dirs = replica_dirs("scrub", 2);
+        let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+        MetaStore::save_replicated(&arr, &refs, 4).unwrap();
+        let mut store = MetaStore::open_replicated(&refs, 2).unwrap();
+        let count = store.manifest().shard_count();
+        // Corrupt ~20% of shards (every 5th) in the primary only.
+        let victims: Vec<usize> = (0..count).step_by(5).collect();
+        for &i in &victims {
+            fs::write(dirs[0].join(shard_file(i)), b"bit rot").unwrap();
+        }
+        let report = store.scrub();
+        assert_eq!(report.scrubbed, count);
+        assert_eq!(report.repaired, victims.len());
+        assert!(report.quarantined.is_empty());
+        assert_eq!(store.health().shards_repaired, victims.len());
+        // Every repaired copy now verifies against the manifest CRC.
+        for &i in &victims {
+            let bytes = fs::read(dirs[0].join(shard_file(i))).unwrap();
+            assert_eq!(crc32(&bytes), store.manifest().shard_crc[i]);
+        }
+        // Reads from the primary alone succeed again.
+        let mut primary = MetaStore::open(&dirs[0], 1).unwrap();
+        assert!(primary.view(SubDatasetId(0)).is_ok());
+        assert_eq!(primary.health().checksum_failures, 0);
+        for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn scrub_quarantines_irreparable_shards_and_lifts_on_recovery() {
+        let (_dfs, arr) = sample_array();
+        let dirs = replica_dirs("quarantine", 2);
+        let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+        MetaStore::save_replicated(&arr, &refs, 4).unwrap();
+        let mut store = MetaStore::open_replicated(&refs, 2).unwrap();
+        let healthy_bytes = fs::read(dirs[0].join(shard_file(1))).unwrap();
+        // Destroy every copy of shard 1.
+        for d in &dirs {
+            fs::write(d.join(shard_file(1)), b"gone").unwrap();
+        }
+        let report = store.scrub();
+        assert_eq!(report.quarantined, vec![1]);
+        assert_eq!(store.quarantined_shards(), vec![1]);
+        assert_eq!(store.health().shards_quarantined, 1);
+        assert!(matches!(
+            store.shard(1),
+            Err(StoreError::Quarantined { shard: 1 })
+        ));
+        // An operator restores one copy; the next scrub lifts the
+        // quarantine and repairs the other replica.
+        fs::write(dirs[1].join(shard_file(1)), &healthy_bytes).unwrap();
+        let report = store.scrub();
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.repaired, 1);
+        assert!(store.quarantined_shards().is_empty());
+        assert_eq!(store.health().shards_quarantined, 0);
+        assert!(store.shard(1).is_ok());
+        for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn scrub_restores_missing_replica_manifest() {
+        let (_dfs, arr) = sample_array();
+        let dirs = replica_dirs("manifest-heal", 2);
+        let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+        MetaStore::save_replicated(&arr, &refs, 6).unwrap();
+        let mut store = MetaStore::open_replicated(&refs, 1).unwrap();
+        fs::remove_file(dirs[1].join("manifest.json")).unwrap();
+        let report = store.scrub();
+        assert_eq!(report.manifests_repaired, 1);
+        assert!(MetaStore::open(&dirs[1], 1).is_ok());
+        for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn degraded_view_steps_down_the_ladder() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("ladder");
+        MetaStore::save(&arr, &dir, 4).unwrap();
+        let mut store = MetaStore::open(&dir, 2).unwrap();
+        let count = store.manifest().shard_count();
+        assert!(count >= 3, "need >= 3 shards");
+        let s = SubDatasetId(0);
+        let healthy = store.view(s).unwrap();
+
+        // Shard 0: full copy lost, summary intact → its blocks drop to
+        // bloom-only (rung 2). Shard 1: both lost → unknown (rung 3).
+        fs::write(dir.join(shard_file(0)), b"dead").unwrap();
+        fs::write(dir.join(shard_file(1)), b"dead").unwrap();
+        fs::write(dir.join(summary_file(1)), b"dead").unwrap();
+        let mut store = MetaStore::open(&dir, 2).unwrap();
+        let degraded = store.view_degraded(s);
+        assert_eq!(degraded.shard_sources()[0], ShardSource::Summary);
+        assert_eq!(degraded.shard_sources()[1], ShardSource::Lost);
+        assert!(degraded.shard_sources()[2..]
+            .iter()
+            .all(|&src| src == ShardSource::Full));
+        // Every healthy-view block of shard 0 is still *found*, now on
+        // rung 2 (plus possible bloom false positives, never negatives).
+        let span0: Vec<BlockId> = (0..4).map(BlockId).collect();
+        for b in healthy.blocks().filter(|b| span0.contains(b)) {
+            assert_eq!(degraded.rung_of(b), Some(Rung::Bloom), "{b:?}");
+        }
+        // The whole span of shard 1 is unknown — a correct run must scan it.
+        for b in 4..8u32 {
+            assert_eq!(degraded.rung_of(BlockId(b)), Some(Rung::Fallback));
+        }
+        // Healthy shards keep exact sizes.
+        assert!(degraded.view().exact().iter().all(|&(b, _)| b.index() >= 8));
+        assert!(degraded.rung_counts().any_degraded());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_view_on_healthy_store_matches_strict_view() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("healthy-degraded");
+        MetaStore::save(&arr, &dir, 5).unwrap();
+        let mut store = MetaStore::open(&dir, 2).unwrap();
+        for s in 0..10u64 {
+            let strict = store.view(SubDatasetId(s)).unwrap();
+            let degraded = store.view_degraded(SubDatasetId(s));
+            assert!(degraded.is_healthy());
+            assert_eq!(degraded.view(), &strict);
+            assert!(degraded.unknown_blocks().is_empty());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn block_summary_has_no_false_negatives_and_bounds_delta() {
+        let (_dfs, arr) = sample_array();
+        for map in arr.maps() {
+            let sum = BlockSummary::of(map);
+            assert_eq!(sum.block(), map.block());
+            for s in 0..60u64 {
+                let id = SubDatasetId(s);
+                if map.query(id) != SizeInfo::Absent {
+                    assert!(sum.contains(id), "summary lost {id} in {:?}", map.block());
+                    // δ never exceeds any present sub-dataset's true size
+                    // bound known to the map.
+                    if let SizeInfo::Exact(sz) = map.query(id) {
+                        assert!(sum.delta() <= sz);
+                    }
+                }
+            }
+        }
     }
 }
