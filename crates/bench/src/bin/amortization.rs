@@ -53,7 +53,7 @@ fn main() {
         let mut dn = DataNetScheduler::new(&dfs, &maps.view(m));
         let with = run_selection(&dfs, &truth, &mut dn, &sel);
         let jd = run_analysis(&with.per_node_bytes, &job, &ana);
-        let dn_secs = with.end.as_secs_f64() + jd.makespan_secs;
+        let dn_secs = datanet_mapreduce::total_secs(with.end, jd.makespan_secs);
         datanet_total += dn_secs;
 
         // Reactive path: oblivious selection, then migrate, then job.
@@ -61,7 +61,8 @@ fn main() {
         let without = run_selection(&dfs, &truth, &mut base, &sel);
         let mig = rebalance(&without.per_node_bytes, &NodeSpec::marmot());
         let jm = run_analysis(&mig.balanced, &job, &ana);
-        let mig_secs = without.end.as_secs_f64() + mig.migration_secs + jm.makespan_secs;
+        let mig_secs =
+            datanet_mapreduce::total_secs(without.end, mig.migration_secs + jm.makespan_secs);
         migration_total += mig_secs;
 
         t.row([

@@ -23,7 +23,11 @@
 //! recovered.
 //!
 //! `--json PATH` additionally writes both sweeps as a JSON report (the CI
-//! degraded-mode smoke job uploads this as an artifact).
+//! degraded-mode smoke job uploads this as an artifact). `--trace PATH`
+//! re-runs one representative detector run (highest crash rate, seed 0)
+//! with the observability recorder attached, writes the Chrome trace for
+//! Perfetto, and embeds the condensed `ObsSummary` in the JSON report (the
+//! CI trace-smoke job gates on both).
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -34,12 +38,14 @@ use datanet::{ElasticMapArray, Separation};
 use datanet_bench::{movie_dataset, quick, Table, NODES};
 use datanet_cluster::{DetectorConfig, FaultPlan, SimTime};
 use datanet_mapreduce::{
-    run_selection, run_selection_faulty, run_selection_resilient, DataNetScheduler, FaultConfig,
-    LocalityScheduler, MapScheduler, SelectionConfig, SelectionOutcome,
+    run_selection, run_selection_faulty, run_selection_faulty_traced, run_selection_resilient,
+    DataNetScheduler, FaultConfig, LocalityScheduler, MapScheduler, SelectionConfig,
+    SelectionOutcome,
 };
+use datanet_obs::{ObsSummary, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 const SHARD_BLOCKS: usize = 4;
 
@@ -85,19 +91,40 @@ struct CorruptionRow {
     phase_secs: f64,
 }
 
-#[derive(Serialize)]
 struct FaultsReport {
     nodes: u32,
     seeds: u64,
     crash_sweep: Vec<CrashRow>,
     corruption_sweep: Vec<CorruptionRow>,
+    obs: Option<ObsSummary>,
 }
 
-/// Value of `--json PATH`, if given.
-fn json_path() -> Option<PathBuf> {
+// Hand-written so `obs: None` is omitted entirely: without `--trace` the
+// JSON report must stay byte-identical to what pre-observability CI
+// archived (the vendored serde derive would emit `"obs":null`).
+impl Serialize for FaultsReport {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("seeds".to_string(), self.seeds.to_value()),
+            ("crash_sweep".to_string(), self.crash_sweep.to_value()),
+            (
+                "corruption_sweep".to_string(),
+                self.corruption_sweep.to_value(),
+            ),
+        ];
+        if let Some(obs) = &self.obs {
+            entries.push(("obs".to_string(), obs.to_value()));
+        }
+        Value::Object(entries)
+    }
+}
+
+/// Value of `--<flag> PATH`, if given.
+fn path_flag(flag: &str) -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--json")
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
 }
@@ -330,12 +357,41 @@ fn main() {
          and every byte is still credited exactly once."
     );
 
-    if let Some(path) = json_path() {
+    // One representative run under the recorder: the detector scheduler at
+    // the highest swept crash rate, seed 0 — the full
+    // crash → suspicion → re-plan lifecycle on one Perfetto timeline.
+    let mut obs = None;
+    if let Some(path) = path_flag("--trace") {
+        let rate = rates.last().copied().unwrap_or(0.5).max(0.25);
+        let plan = FaultPlan::random(NODES as usize, 0xFA01, rate, horizon);
+        let faults = FaultConfig::with_detection(plan, DetectorConfig::default());
+        let rec = Recorder::new();
+        let mut sched = DataNetScheduler::new(&dfs, &view);
+        let out = run_selection_faulty_traced(&dfs, &truth, &mut sched, &sel, &faults, &rec);
+        let data = rec.take();
+        let summary = data.summary(None);
+        fs::write(&path, data.to_chrome_json()).unwrap();
+        println!(
+            "\nwrote Chrome trace to {} ({} spans, {} crash chain(s), {} unclosed, \
+             {} straggler(s) / {} idler(s) over {} survivors)",
+            path.display(),
+            summary.spans,
+            summary.crash_chains.len(),
+            summary.unclosed_spans,
+            summary.stragglers.len(),
+            summary.idlers.len(),
+            NODES as usize - out.faults.crashed_nodes.len(),
+        );
+        obs = Some(summary);
+    }
+
+    if let Some(path) = path_flag("--json") {
         let report = FaultsReport {
             nodes: NODES,
             seeds,
             crash_sweep,
             corruption_sweep,
+            obs,
         };
         fs::write(&path, serde_json::to_vec_pretty(&report).unwrap()).unwrap();
         println!("\nwrote JSON report to {}", path.display());

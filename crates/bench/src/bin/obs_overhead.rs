@@ -1,0 +1,109 @@
+//! Recorder overhead measurement: the observability plane must be close to
+//! free, or nobody leaves it on.
+//!
+//! Runs the same end-to-end traced workload — ElasticMap build, faulty
+//! selection under the EWMA detector, analysis job — twice per repetition:
+//! once with `Recorder::off()` (every tracing call is a no-op) and once
+//! with a live recorder. Wall time is taken as the *minimum* over the
+//! repetitions, the standard way to strip scheduler noise from a
+//! micro-measurement; the overhead fraction is `(on − off) / off`.
+//!
+//! `--json PATH` writes the measurement as `BENCH_obs.json`; the CI
+//! trace-smoke job fails if the recorder costs more than 5% of the
+//! untraced wall makespan.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use datanet::{ElasticMapArray, Separation};
+use datanet_bench::{movie_dataset, quick, Table, NODES};
+use datanet_cluster::{DetectorConfig, FaultPlan, SimTime};
+use datanet_mapreduce::{
+    run_analysis_traced, run_selection, run_selection_faulty_traced, AnalysisConfig,
+    DataNetScheduler, FaultConfig, LocalityScheduler, SelectionConfig,
+};
+use datanet_obs::Recorder;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ObsOverheadReport {
+    reps: usize,
+    spans: usize,
+    recorder_off_secs: f64,
+    recorder_on_secs: f64,
+    overhead_fraction: f64,
+}
+
+fn path_flag(flag: &str) -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn main() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let truth = dfs.subdataset_distribution(hot);
+    let sel = SelectionConfig::default();
+    let ana = AnalysisConfig::default();
+    let job = datanet_analytics::profiles::word_count_profile();
+
+    let mut probe = LocalityScheduler::new(&dfs);
+    let healthy_end = run_selection(&dfs, &truth, &mut probe, &sel).end;
+    let horizon = SimTime::from_micros(healthy_end.as_micros().max(1));
+    let plan = FaultPlan::random(NODES as usize, 0xFA01, 0.25, horizon);
+
+    // The traced workload, exactly as a `--trace` user runs it.
+    let workload = |rec: &Recorder| {
+        let array = ElasticMapArray::build_traced(&dfs, &Separation::Alpha(0.3), rec);
+        let view = array.view(hot);
+        let faults = FaultConfig::with_detection(plan.clone(), DetectorConfig::default());
+        let mut sched = DataNetScheduler::new(&dfs, &view);
+        let out = run_selection_faulty_traced(&dfs, &truth, &mut sched, &sel, &faults, rec);
+        run_analysis_traced(&out.per_node_bytes, &job, &ana, out.end, rec);
+    };
+
+    let reps = if quick() { 5 } else { 15 };
+    let mut off_min = f64::INFINITY;
+    let mut on_min = f64::INFINITY;
+    let mut spans = 0usize;
+    // Warm-up rep to fill caches, then interleave off/on so drift hits both.
+    workload(&Recorder::off());
+    for _ in 0..reps {
+        let t = Instant::now();
+        workload(&Recorder::off());
+        off_min = off_min.min(t.elapsed().as_secs_f64());
+
+        let rec = Recorder::new();
+        let t = Instant::now();
+        workload(&rec);
+        on_min = on_min.min(t.elapsed().as_secs_f64());
+        spans = rec.take().spans.len();
+    }
+    let overhead = ((on_min - off_min) / off_min).max(0.0);
+
+    println!("== Observability-plane overhead ({reps} reps, min wall time) ==");
+    let mut t = Table::new(["recorder", "wall (ms)", "spans"]);
+    t.row(["off", &format!("{:.3}", off_min * 1e3), "0"]);
+    t.row(["on", &format!("{:.3}", on_min * 1e3), &spans.to_string()]);
+    t.print();
+    println!(
+        "overhead: {:.2}% of the untraced makespan",
+        overhead * 100.0
+    );
+
+    if let Some(path) = path_flag("--json") {
+        let report = ObsOverheadReport {
+            reps,
+            spans,
+            recorder_off_secs: off_min,
+            recorder_on_secs: on_min,
+            overhead_fraction: overhead,
+        };
+        fs::write(&path, serde_json::to_vec_pretty(&report).unwrap()).unwrap();
+        println!("wrote JSON report to {}", path.display());
+    }
+}

@@ -9,13 +9,17 @@ use datanet::{
 use datanet_analytics::profiles::{
     histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
 };
+use datanet_bench::Table;
 use datanet_dfs::{DfsConfig, SubDatasetId, Topology};
 use datanet_mapreduce::{
-    run_pipeline, AnalysisConfig, DataNetScheduler, JobProfile, LocalityScheduler, SelectionConfig,
+    run_pipeline, run_pipeline_traced, AnalysisConfig, DataNetScheduler, JobProfile,
+    LocalityScheduler, SelectionConfig,
 };
+use datanet_obs::Recorder;
 use datanet_workloads::{GithubConfig, MoviesConfig, WorldCupConfig};
+use serde::Value;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Top-level error: argument problems or I/O.
 #[derive(Debug)]
@@ -64,12 +68,20 @@ USAGE:
   datanet gen <movies|github|worldcup> --out FILE
               [--records N] [--nodes N] [--block-kb N] [--seed N]
   datanet scan --dataset FILE --meta DIR[,DIR...] [--alpha F] [--shard-blocks N]
-  datanet query --dataset FILE --meta DIR[,DIR...] --subdataset ID
+              [--trace OUT.json]
+  datanet query --dataset FILE --meta DIR[,DIR...] --subdataset ID [--trace OUT.json]
   datanet plan --dataset FILE --meta DIR[,DIR...] --subdataset ID [--planner alg1|maxflow]
+              [--trace OUT.json]
   datanet scrub --meta DIR[,DIR...]
   datanet simulate --dataset FILE --subdataset ID
               [--job movingaverage|wordcount|histogram|topk] [--alpha F]
+              [--trace OUT.json]
+  datanet trace TRACE.json
   datanet help
+
+`--trace OUT.json` records the run on the observability plane and writes a
+Chrome trace_event file, loadable at https://ui.perfetto.dev. `datanet
+trace` prints a terminal summary of such a file.
 ";
 
 /// Dispatch a command line (tokens exclude the program name).
@@ -85,6 +97,7 @@ pub fn dispatch(tokens: Vec<String>, out: &mut dyn Write) -> Result<(), CliError
         Some("plan") => cmd_plan(&args, out),
         Some("scrub") => cmd_scrub(&args, out),
         Some("simulate") => cmd_simulate(&args, out),
+        Some("trace") => cmd_trace(&args, out),
         Some("help") | None => {
             write!(out, "{USAGE}")?;
             Ok(())
@@ -174,12 +187,39 @@ fn open_store(args: &Args, cache_shards: usize) -> Result<MetaStore, CliError> {
     Ok(MetaStore::open_replicated(&refs, cache_shards)?)
 }
 
+/// `--trace OUT.json` turns the observability recorder on; otherwise every
+/// traced call degrades to its untraced twin.
+fn recorder(args: &Args) -> (Recorder, Option<PathBuf>) {
+    match args.get("trace") {
+        Some(path) => (Recorder::new(), Some(PathBuf::from(path))),
+        None => (Recorder::off(), None),
+    }
+}
+
+/// Drain the recorder into a Chrome `trace_event` file and tell the user
+/// where it went.
+fn write_trace(rec: &Recorder, path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+    let data = rec.take();
+    std::fs::write(path, data.to_chrome_json())?;
+    writeln!(
+        out,
+        "wrote Chrome trace to {} ({} spans, {} instants, {} unclosed) \
+         — open it at https://ui.perfetto.dev",
+        path.display(),
+        data.spans.len(),
+        data.instants.len(),
+        data.unclosed_spans()
+    )?;
+    Ok(())
+}
+
 fn cmd_scan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
     let alpha: f64 = args.get_or("alpha", 0.3)?;
     let shard_blocks: usize = args.get_or("shard-blocks", 64)?;
     let dfs = ds.to_dfs();
-    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha));
+    let (rec, trace) = recorder(args);
+    let arr = ElasticMapArray::build_traced(&dfs, &Separation::Alpha(alpha), &rec);
     let dirs = meta_dirs(args)?;
     let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
     MetaStore::save_replicated(&arr, &refs, shard_blocks)?;
@@ -194,6 +234,9 @@ fn cmd_scan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         dirs.len(),
         arr.accuracy(&dfs) * 100.0
     )?;
+    if let Some(path) = trace {
+        write_trace(&rec, &path, out)?;
+    }
     Ok(())
 }
 
@@ -228,6 +271,8 @@ fn cmd_scrub(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
     let mut store = open_store(args, 4)?;
+    let (rec, trace) = recorder(args);
+    store.set_recorder(rec.clone());
     let id: u64 = args
         .require("subdataset")?
         .parse()
@@ -246,12 +291,17 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         dfs.subdataset_total(s),
         view.delta()
     )?;
+    if let Some(path) = trace {
+        write_trace(&rec, &path, out)?;
+    }
     Ok(())
 }
 
 fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
     let mut store = open_store(args, 4)?;
+    let (rec, trace) = recorder(args);
+    store.set_recorder(rec.clone());
     let id: u64 = args
         .require("subdataset")?
         .parse()
@@ -280,6 +330,9 @@ fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             plan.workloads()[n]
         )?;
     }
+    if let Some(path) = trace {
+        write_trace(&rec, &path, out)?;
+    }
     Ok(())
 }
 
@@ -306,11 +359,17 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let sel = SelectionConfig::default();
     let ana = AnalysisConfig::default();
 
+    // Only the DataNet side of the comparison is traced: it is the run the
+    // user wants a timeline of, and the baseline stays untouched.
+    let (rec, trace) = recorder(args);
     let mut base = LocalityScheduler::new(&dfs);
     let without = run_pipeline(&dfs, s, &mut base, &job, &sel, &ana);
-    let view = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha)).view(s);
+    let view = ElasticMapArray::build_traced(&dfs, &Separation::Alpha(alpha), &rec).view(s);
     let mut dn = DataNetScheduler::new(&dfs, &view);
-    let with = run_pipeline(&dfs, s, &mut dn, &job, &sel, &ana);
+    let mut with = run_pipeline_traced(&dfs, s, &mut dn, &job, &sel, &ana, &rec);
+    if rec.is_enabled() {
+        with.obs = Some(rec.snapshot().summary(None));
+    }
 
     writeln!(out, "{} over sub-dataset {s}:", job.name)?;
     writeln!(
@@ -333,6 +392,121 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         out,
         "  improvement: {:.1}%",
         100.0 * (1.0 - with.total_secs() / without.total_secs())
+    )?;
+    if let Some(obs) = &with.obs {
+        writeln!(
+            out,
+            "  traced: {} spans over {:.3}s, {} straggler(s), {} idler(s)",
+            obs.spans,
+            obs.sim_end_us as f64 / 1e6,
+            obs.stragglers.len(),
+            obs.idlers.len()
+        )?;
+    }
+    if let Some(path) = trace {
+        write_trace(&rec, &path, out)?;
+    }
+    Ok(())
+}
+
+fn val_u64(v: Option<&Value>) -> u64 {
+    match v {
+        Some(Value::U64(n)) => *n,
+        Some(Value::I64(n)) if *n >= 0 => *n as u64,
+        Some(Value::F64(f)) if *f >= 0.0 => *f as u64,
+        _ => 0,
+    }
+}
+
+fn val_str(v: Option<&Value>) -> Option<&str> {
+    match v {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// `datanet trace TRACE.json` — terminal summary of a Chrome trace written
+/// by `--trace`: span counts and time per category, the busiest nodes on
+/// the simulated clock, counter totals, and the unclosed-span count the CI
+/// smoke job gates on.
+fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.require_positional(1, "TRACE.json")?;
+    let bytes = std::fs::read(path)?;
+    let doc = serde_json::parse_value(&bytes)
+        .map_err(|e| ArgError(format!("{path}: not a Chrome trace: {e}")))?;
+    let events = match doc.get("traceEvents") {
+        Some(Value::Array(events)) => events,
+        _ => return Err(ArgError(format!("{path}: missing traceEvents array")).into()),
+    };
+
+    // Per-category and per-sim-node rollups over the complete ("X") spans.
+    let mut cats: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    let mut nodes: std::collections::BTreeMap<u64, (u64, u64)> = Default::default();
+    let mut instants = 0u64;
+    for e in events {
+        match val_str(e.get("ph")) {
+            Some("X") => {
+                let cat = val_str(e.get("cat")).unwrap_or("?").to_string();
+                let dur = val_u64(e.get("dur"));
+                let c = cats.entry(cat).or_insert((0, 0));
+                c.0 += 1;
+                c.1 += dur;
+                let tid = val_u64(e.get("tid"));
+                if val_u64(e.get("pid")) == 0 && tid > 0 {
+                    let n = nodes.entry(tid - 1).or_insert((0, 0));
+                    n.0 += 1;
+                    n.1 += dur;
+                }
+            }
+            Some("i") => instants += 1,
+            _ => {}
+        }
+    }
+
+    let mut t = Table::new(["category", "spans", "total ms"]);
+    for (cat, (count, dur)) in &cats {
+        t.row([
+            cat.clone(),
+            count.to_string(),
+            format!("{:.3}", *dur as f64 / 1e3),
+        ]);
+    }
+    write!(out, "{}", t.render())?;
+
+    if !nodes.is_empty() {
+        writeln!(out)?;
+        let mut t = Table::new(["node", "spans", "busy ms"]);
+        for (node, (count, dur)) in &nodes {
+            t.row([
+                format!("node {node}"),
+                count.to_string(),
+                format!("{:.3}", *dur as f64 / 1e3),
+            ]);
+        }
+        write!(out, "{}", t.render())?;
+    }
+
+    if let Some(Value::Object(counters)) = doc.get("otherData").and_then(|o| o.get("counters")) {
+        if !counters.is_empty() {
+            writeln!(out)?;
+            let mut t = Table::new(["counter", "total"]);
+            for (name, v) in counters {
+                t.row([name.clone(), val_u64(Some(v)).to_string()]);
+            }
+            write!(out, "{}", t.render())?;
+        }
+    }
+
+    let unclosed = val_u64(doc.get("otherData").and_then(|o| o.get("unclosed_spans")));
+    writeln!(
+        out,
+        "\n{} instants, {unclosed} unclosed span(s){}",
+        instants,
+        if unclosed == 0 {
+            ""
+        } else {
+            " — BROKEN TRACE"
+        }
     )?;
     Ok(())
 }
@@ -439,6 +613,60 @@ mod tests {
         let _ = std::fs::remove_file(&ds);
         let _ = std::fs::remove_dir_all(&meta_a);
         let _ = std::fs::remove_dir_all(&meta_b);
+    }
+
+    #[test]
+    fn trace_flag_writes_chrome_trace_and_trace_command_reads_it() {
+        let ds = tmp("trace-ds.json");
+        let meta = tmp("trace-meta");
+        let trace = tmp("trace.json");
+        run(&format!(
+            "gen movies --records 20000 --nodes 8 --block-kb 64 --out {ds}"
+        ))
+        .unwrap();
+
+        let s = run(&format!(
+            "scan --dataset {ds} --meta {meta} --trace {trace}"
+        ))
+        .unwrap();
+        assert!(s.contains("wrote Chrome trace"), "{s}");
+        assert!(s.contains("0 unclosed"), "{s}");
+        let raw = std::fs::read_to_string(&trace).unwrap();
+        assert!(raw.contains("traceEvents"), "not a Chrome trace: {raw}");
+
+        let s = run(&format!("trace {trace}")).unwrap();
+        assert!(s.contains("category"), "{s}");
+        assert!(s.contains("scan"), "{s}");
+        assert!(s.contains("0 unclosed span(s)"), "{s}");
+
+        // A traced simulate emits the engine spans and the obs summary.
+        let s = run(&format!(
+            "simulate --dataset {ds} --subdataset 0 --trace {trace}"
+        ))
+        .unwrap();
+        assert!(s.contains("traced:"), "{s}");
+        assert!(s.contains("wrote Chrome trace"), "{s}");
+        let s = run(&format!("trace {trace}")).unwrap();
+        assert!(s.contains("task"), "{s}");
+        assert!(s.contains("node 0"), "{s}");
+
+        // Untraced runs never mention the observability plane.
+        let s = run(&format!("simulate --dataset {ds} --subdataset 0")).unwrap();
+        assert!(!s.contains("traced:"), "{s}");
+
+        let _ = std::fs::remove_file(&ds);
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_dir_all(&meta);
+    }
+
+    #[test]
+    fn trace_command_rejects_garbage() {
+        let bogus = tmp("bogus.json");
+        std::fs::write(&bogus, b"not json").unwrap();
+        assert!(run(&format!("trace {bogus}")).is_err());
+        std::fs::write(&bogus, b"{\"no\":\"events\"}").unwrap();
+        assert!(run(&format!("trace {bogus}")).is_err());
+        let _ = std::fs::remove_file(&bogus);
     }
 
     #[test]

@@ -25,9 +25,10 @@ use crate::scheduler::{MapScheduler, ResilientScheduler};
 use datanet::store::MetaStore;
 use datanet::AggregationPlan;
 use datanet_cluster::{
-    suspicion_schedule, DetectorConfig, EventQueue, FaultPlan, NodeSpec, SimCluster, SimTime,
+    suspicion_schedule_traced, DetectorConfig, EventQueue, FaultPlan, NodeSpec, SimCluster, SimTime,
 };
 use datanet_dfs::{BlockId, Dfs, NodeId, SubDatasetId};
+use datanet_obs::{Category, Domain, Recorder, SpanCtx};
 
 /// Fixed per-task cost (scheduling heartbeat, JVM reuse, commit) — Hadoop
 /// charges ~1 s per task; scaled here by the same 256× factor as the
@@ -103,6 +104,21 @@ pub fn run_selection(
     scheduler: &mut dyn MapScheduler,
     cfg: &SelectionConfig,
 ) -> SelectionOutcome {
+    run_selection_traced(dfs, truth, scheduler, cfg, &Recorder::off())
+}
+
+/// [`run_selection`] with a [`Recorder`] attached: emits one `select` task
+/// span per granted block on the simulated clock (node/block attributes), a
+/// `selection` phase span, a `task_us` duration histogram and locality
+/// counters. With a disabled recorder this is exactly [`run_selection`] —
+/// tracing never perturbs the simulation.
+pub fn run_selection_traced(
+    dfs: &Dfs,
+    truth: &[u64],
+    scheduler: &mut dyn MapScheduler,
+    cfg: &SelectionConfig,
+    rec: &Recorder,
+) -> SelectionOutcome {
     assert_eq!(
         truth.len(),
         dfs.block_count(),
@@ -142,6 +158,17 @@ pub fn run_selection(
         let filtered = truth[block.index()];
         let dur = map_task_duration(dfs, block, node, local, filtered, cfg, 1.0);
         let end = now + dur;
+        let span = rec.begin(
+            Category::Task,
+            "select",
+            Domain::Sim,
+            now.as_micros(),
+            SpanCtx::default()
+                .node(node.index())
+                .block(block.index() as u64),
+        );
+        rec.end(span, end.as_micros());
+        rec.observe("task_us", dur.as_micros());
         per_node_bytes[node.index()] += filtered;
         tasks_per_node[node.index()] += 1;
         per_node_end[node.index()] = end;
@@ -155,6 +182,18 @@ pub fn run_selection(
     debug_assert_eq!(scheduler.remaining(), 0, "engine drained the scheduler");
 
     let end = per_node_end.iter().copied().max().unwrap_or(SimTime::ZERO);
+    let phase = rec.begin(
+        Category::Phase,
+        "selection",
+        Domain::Sim,
+        0,
+        SpanCtx::default(),
+    );
+    rec.end(phase, end.as_micros());
+    rec.add("tasks_executed", total_tasks as u64);
+    rec.add("local_tasks", local_tasks as u64);
+    rec.add("remote_tasks", (total_tasks - local_tasks) as u64);
+    rec.add("bytes_read", bytes_read);
     SelectionOutcome {
         scheduler: scheduler.name().to_string(),
         per_node_bytes,
@@ -285,6 +324,25 @@ pub fn run_selection_faulty(
     cfg: &SelectionConfig,
     faults: &FaultConfig,
 ) -> SelectionOutcome {
+    run_selection_faulty_traced(dfs, truth, scheduler, cfg, faults, &Recorder::off())
+}
+
+/// [`run_selection_faulty`] with a [`Recorder`] attached. On top of the
+/// healthy-engine spans this emits the full crash lifecycle on the simulated
+/// clock: a `crash` instant at the physical failure time, a `suspect`
+/// instant when the engine learns of it (the detector records it in
+/// detection mode; the oracle records it at the crash itself), a `replan`
+/// instant from [`MapScheduler::record_replan`], and every in-flight task
+/// span on the dead node closed with a `lost` note. With a disabled
+/// recorder this is exactly [`run_selection_faulty`].
+pub fn run_selection_faulty_traced(
+    dfs: &Dfs,
+    truth: &[u64],
+    scheduler: &mut dyn MapScheduler,
+    cfg: &SelectionConfig,
+    faults: &FaultConfig,
+    rec: &Recorder,
+) -> SelectionOutcome {
     assert_eq!(
         truth.len(),
         dfs.block_count(),
@@ -310,8 +368,9 @@ pub fn run_selection_faulty(
     let mut alive = vec![true; m];
     // Blocks whose filtered output currently lives on node n.
     let mut done: Vec<Vec<BlockId>> = vec![Vec::new(); m];
-    // Tasks running on node n: (block, was_local, completes_at).
-    let mut in_flight: Vec<Vec<(BlockId, bool, SimTime)>> = vec![Vec::new(); m];
+    // Tasks running on node n: (block, was_local, completes_at, span).
+    let mut in_flight: Vec<Vec<(BlockId, bool, SimTime, datanet_obs::SpanId)>> =
+        vec![Vec::new(); m];
     // Slot tokens parked because the scheduler had nothing left; a crash
     // that requeues work revives them.
     let mut parked = vec![0u32; m];
@@ -323,7 +382,7 @@ pub fn run_selection_faulty(
     // Under detection, the engine learns of a crash at the *suspicion*
     // instant; under the oracle model, at the crash instant itself.
     let notifications = match faults.detection {
-        Some(det) => suspicion_schedule(&faults.plan, det),
+        Some(det) => suspicion_schedule_traced(&faults.plan, det, rec),
         None => faults.plan.crash_events(),
     };
     for (t, node) in notifications {
@@ -342,18 +401,41 @@ pub fn run_selection_faulty(
                 let crashed_at = faults.plan.crash_time(dead.index()).unwrap_or(now);
                 first_crash.get_or_insert(crashed_at);
                 stats.crashed_nodes.push(dead.index());
+                rec.instant(
+                    Category::Detection,
+                    "crash",
+                    Domain::Sim,
+                    crashed_at.as_micros(),
+                    SpanCtx::default().node(dead.index()),
+                );
                 if faults.detection.is_some() {
                     stats
                         .detection_latency_secs
                         .push((now.saturating_sub(crashed_at)).as_secs_f64());
+                } else {
+                    // Oracle notification: suspicion is instantaneous, but
+                    // the chain still gets its `suspect` marker so crash
+                    // timelines read uniformly across both modes.
+                    rec.instant(
+                        Category::Detection,
+                        "suspect",
+                        Domain::Sim,
+                        now.as_micros(),
+                        SpanCtx::default().node(dead.index()).note("oracle"),
+                    );
                 }
                 per_node_end[dead.index()] = crashed_at;
                 // Everything the node produced or was producing is gone.
                 per_node_bytes[dead.index()] = 0;
                 tasks_per_node[dead.index()] = 0;
+                // Tasks still in flight died with the node: their spans end
+                // at the physical crash, not at the (later) suspicion.
+                for &(_, _, _, span) in &in_flight[dead.index()] {
+                    rec.end_with_note(span, crashed_at.as_micros(), "lost");
+                }
                 let casualties: Vec<BlockId> = done[dead.index()]
                     .drain(..)
-                    .chain(in_flight[dead.index()].drain(..).map(|(b, _, _)| b))
+                    .chain(in_flight[dead.index()].drain(..).map(|(b, _, _, _)| b))
                     .collect();
                 // Triage: re-enqueue what survivors can serve, report the rest.
                 let mut requeue = Vec::new();
@@ -368,6 +450,7 @@ pub fn run_selection_faulty(
                 }
                 stats.requeued_tasks += requeue.len();
                 scheduler.node_lost(dead, &requeue);
+                scheduler.record_replan(rec, now.as_micros(), dead, requeue.len());
                 // Wake idle survivors: new work just appeared.
                 if !requeue.is_empty() {
                     for (n, tokens) in parked.iter_mut().enumerate() {
@@ -392,9 +475,10 @@ pub fn run_selection_faulty(
                 // Complete the task this token was running, if any.
                 if let Some(pos) = in_flight[node.index()]
                     .iter()
-                    .position(|&(_, _, e)| e == now)
+                    .position(|&(_, _, e, _)| e == now)
                 {
-                    let (block, local, _) = in_flight[node.index()].remove(pos);
+                    let (block, local, _, span) = in_flight[node.index()].remove(pos);
+                    rec.end(span, now.as_micros());
                     done[node.index()].push(block);
                     per_node_bytes[node.index()] += truth[block.index()];
                     tasks_per_node[node.index()] += 1;
@@ -442,7 +526,15 @@ pub fn run_selection_faulty(
                 );
                 let dur = stretch(dur, faults.plan.slow_factor(node.index(), now));
                 let end = now + dur;
-                in_flight[node.index()].push((block, local, end));
+                let mut ctx = SpanCtx::default()
+                    .node(node.index())
+                    .block(block.index() as u64);
+                if attempts[block.index()] > 1 {
+                    ctx = ctx.note(format!("attempt {}", attempts[block.index()]));
+                }
+                let span = rec.begin(Category::Task, "select", Domain::Sim, now.as_micros(), ctx);
+                rec.observe("task_us", dur.as_micros());
+                in_flight[node.index()].push((block, local, end, span));
                 events.push(end, FaultEvent::Slot(node));
             }
         }
@@ -456,6 +548,27 @@ pub fn run_selection_faulty(
     stats.recovery_secs = first_crash
         .map(|c| end.saturating_sub(c).as_secs_f64())
         .unwrap_or(0.0);
+    let phase = rec.begin(
+        Category::Phase,
+        "selection",
+        Domain::Sim,
+        0,
+        SpanCtx::default(),
+    );
+    rec.end(phase, end.as_micros());
+    rec.add("tasks_executed", total_tasks as u64);
+    rec.add("local_tasks", local_tasks as u64);
+    rec.add("remote_tasks", (total_tasks - local_tasks) as u64);
+    rec.add("bytes_read", bytes_read);
+    rec.add("crashes", stats.crashed_nodes.len() as u64);
+    rec.add("requeued_tasks", stats.requeued_tasks as u64);
+    rec.add("reexecuted_tasks", stats.reexecuted_tasks as u64);
+    rec.add("wasted_bytes_read", stats.wasted_bytes_read);
+    rec.add(
+        "unrecoverable_blocks",
+        stats.unrecoverable_blocks.len() as u64,
+    );
+    rec.add("abandoned_blocks", stats.abandoned_blocks.len() as u64);
     SelectionOutcome {
         scheduler: scheduler.name().to_string(),
         per_node_bytes,
@@ -491,17 +604,33 @@ pub fn run_selection_resilient(
     cfg: &SelectionConfig,
     faults: Option<&FaultConfig>,
 ) -> SelectionOutcome {
+    run_selection_resilient_traced(dfs, s, store, cfg, faults, &Recorder::off())
+}
+
+/// [`run_selection_resilient`] with a [`Recorder`] attached: the store's
+/// shard loads and scrubs, the degraded-view assembly, and the selection run
+/// itself all land in one trace. With a disabled recorder this is exactly
+/// [`run_selection_resilient`].
+pub fn run_selection_resilient_traced(
+    dfs: &Dfs,
+    s: SubDatasetId,
+    store: &mut MetaStore,
+    cfg: &SelectionConfig,
+    faults: Option<&FaultConfig>,
+    rec: &Recorder,
+) -> SelectionOutcome {
     assert_eq!(
         store.manifest().blocks,
         dfs.block_count(),
         "metadata store describes a different DFS"
     );
+    store.set_recorder(rec.clone());
     let truth = dfs.subdataset_distribution(s);
     let degraded = store.view_degraded(s);
     let mut scheduler = ResilientScheduler::new(dfs, &degraded);
     let mut out = match faults {
-        Some(f) => run_selection_faulty(dfs, &truth, &mut scheduler, cfg, f),
-        None => run_selection(dfs, &truth, &mut scheduler, cfg),
+        Some(f) => run_selection_faulty_traced(dfs, &truth, &mut scheduler, cfg, f, rec),
+        None => run_selection_traced(dfs, &truth, &mut scheduler, cfg, rec),
     };
     let mut meta = store.health().clone();
     meta.rungs = degraded.rung_counts();
@@ -520,6 +649,21 @@ pub fn run_selection_resilient(
 /// Every node with a non-empty partition runs one map task starting at t=0
 /// (the job is launched after selection completes).
 pub fn run_analysis(filtered: &[u64], profile: &JobProfile, cfg: &AnalysisConfig) -> JobReport {
+    run_analysis_traced(filtered, profile, cfg, SimTime::ZERO, &Recorder::off())
+}
+
+/// [`run_analysis`] with a [`Recorder`] attached. The analysis phase runs on
+/// its own job-local clock starting at zero; `base` shifts every emitted
+/// span onto the pipeline clock (pass the selection end so selection and
+/// analysis line up on one timeline, or [`SimTime::ZERO`] for a standalone
+/// job).
+pub fn run_analysis_traced(
+    filtered: &[u64],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    base: SimTime,
+    rec: &Recorder,
+) -> JobReport {
     let m = filtered.len();
     assert!(m > 0, "need at least one partition");
     let default_plan = AggregationPlan {
@@ -527,7 +671,7 @@ pub fn run_analysis(filtered: &[u64], profile: &JobProfile, cfg: &AnalysisConfig
         shares: vec![1.0 / m as f64; m],
         est_traffic: 0,
     };
-    run_analysis_aggregated(filtered, profile, cfg, &default_plan)
+    run_analysis_aggregated_traced(filtered, profile, cfg, &default_plan, base, rec)
 }
 
 /// Run one analysis job with an explicit [`AggregationPlan`] (reducer
@@ -539,10 +683,30 @@ pub fn run_analysis_aggregated(
     cfg: &AnalysisConfig,
     plan: &AggregationPlan,
 ) -> JobReport {
+    run_analysis_aggregated_traced(
+        filtered,
+        profile,
+        cfg,
+        plan,
+        SimTime::ZERO,
+        &Recorder::off(),
+    )
+}
+
+/// [`run_analysis_aggregated`] with a [`Recorder`] attached; see
+/// [`run_analysis_traced`] for the meaning of `base`.
+pub fn run_analysis_aggregated_traced(
+    filtered: &[u64],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    plan: &AggregationPlan,
+    base: SimTime,
+    rec: &Recorder,
+) -> JobReport {
     let m = filtered.len();
     assert!(m > 0, "need at least one partition");
     let cluster = SimCluster::homogeneous(m, cfg.spec);
-    run_analysis_on(filtered, profile, cfg, plan, cluster)
+    run_analysis_on(filtered, profile, cfg, plan, cluster, base, rec)
 }
 
 /// Run one analysis job on a **heterogeneous** cluster (one spec per node)
@@ -562,7 +726,15 @@ pub fn run_analysis_hetero(
         est_traffic: 0,
     };
     let cluster = SimCluster::heterogeneous(specs);
-    run_analysis_on(filtered, profile, cfg, &plan, cluster)
+    run_analysis_on(
+        filtered,
+        profile,
+        cfg,
+        &plan,
+        cluster,
+        SimTime::ZERO,
+        &Recorder::off(),
+    )
 }
 
 /// Effective map throughput of a node for a given job, in bytes/second:
@@ -577,13 +749,17 @@ pub fn capability_of(spec: &NodeSpec, profile: &JobProfile) -> f64 {
     1.0 / per_byte
 }
 
-/// Core analysis phase over an arbitrary prepared cluster.
+/// Core analysis phase over an arbitrary prepared cluster. All spans are
+/// emitted on the simulated clock shifted by `base` (the pipeline-relative
+/// start of the job).
 fn run_analysis_on(
     filtered: &[u64],
     profile: &JobProfile,
     cfg: &AnalysisConfig,
     plan: &AggregationPlan,
     mut cluster: SimCluster,
+    base: SimTime,
+    rec: &Recorder,
 ) -> JobReport {
     profile.validate();
     plan.validate();
@@ -605,6 +781,15 @@ fn run_analysis_on(
             .compute(read_end, bytes, profile.map_compute_factor);
         map_end[i] = cpu_end;
         map_secs.push(cpu_end.as_secs_f64());
+        let span = rec.begin(
+            Category::Task,
+            "map",
+            Domain::Sim,
+            base.as_micros(),
+            SpanCtx::default().node(i),
+        );
+        rec.end(span, (base + cpu_end).as_micros());
+        rec.observe("map_us", cpu_end.as_micros());
     }
     let first_map_end = map_end.iter().copied().min().unwrap_or(SimTime::ZERO);
 
@@ -638,6 +823,17 @@ fn run_analysis_on(
         .iter()
         .map(|&t| t.saturating_sub(first_map_end).as_secs_f64())
         .collect();
+    for (ri, &rnode) in plan.reducers.iter().enumerate() {
+        let span = rec.begin(
+            Category::Phase,
+            "shuffle",
+            Domain::Sim,
+            (base + first_map_end).as_micros(),
+            SpanCtx::default().node(rnode.index()),
+        );
+        rec.end(span, (base + last_arrival[ri]).as_micros());
+    }
+    rec.add("shuffle_bytes", shuffle_bytes);
 
     // --- Reduce: reducer r processes its share of the total map output.
     let total_out: u64 = filtered.iter().map(|&b| profile.map_output_bytes(b)).sum();
@@ -663,7 +859,24 @@ fn run_analysis_on(
         };
         reduce_secs.push((end.saturating_sub(ready)).as_secs_f64());
         makespan = makespan.max(end);
+        let span = rec.begin(
+            Category::Task,
+            "reduce",
+            Domain::Sim,
+            (base + ready).as_micros(),
+            SpanCtx::default().node(rnode.index()),
+        );
+        rec.end(span, (base + end).as_micros());
+        rec.observe("reduce_us", end.saturating_sub(ready).as_micros());
     }
+    let phase = rec.begin(
+        Category::Phase,
+        "analysis",
+        Domain::Sim,
+        base.as_micros(),
+        SpanCtx::default().note(profile.name.clone()),
+    );
+    rec.end(phase, (base + makespan).as_micros());
 
     let cpu_util = (0..m)
         .map(|i| cluster.node(i).cpu().utilisation(makespan))
@@ -689,10 +902,38 @@ pub fn run_pipeline(
     sel_cfg: &SelectionConfig,
     ana_cfg: &AnalysisConfig,
 ) -> ExecutionReport {
+    run_pipeline_traced(
+        dfs,
+        subdataset,
+        scheduler,
+        job,
+        sel_cfg,
+        ana_cfg,
+        &Recorder::off(),
+    )
+}
+
+/// [`run_pipeline`] with a [`Recorder`] attached: selection and analysis
+/// spans share one simulated timeline (the analysis phase is based at the
+/// selection end). With a disabled recorder this is exactly
+/// [`run_pipeline`].
+pub fn run_pipeline_traced(
+    dfs: &Dfs,
+    subdataset: SubDatasetId,
+    scheduler: &mut dyn MapScheduler,
+    job: &JobProfile,
+    sel_cfg: &SelectionConfig,
+    ana_cfg: &AnalysisConfig,
+    rec: &Recorder,
+) -> ExecutionReport {
     let truth = dfs.subdataset_distribution(subdataset);
-    let selection = run_selection(dfs, &truth, scheduler, sel_cfg);
-    let job = run_analysis(&selection.per_node_bytes, job, ana_cfg);
-    ExecutionReport { selection, job }
+    let selection = run_selection_traced(dfs, &truth, scheduler, sel_cfg, rec);
+    let job = run_analysis_traced(&selection.per_node_bytes, job, ana_cfg, selection.end, rec);
+    ExecutionReport {
+        selection,
+        job,
+        obs: None,
+    }
 }
 
 /// Run one analysis job over partitions when some nodes are dead: reducers
@@ -708,6 +949,26 @@ pub fn run_analysis_surviving(
     profile: &JobProfile,
     cfg: &AnalysisConfig,
     alive: &[bool],
+) -> JobReport {
+    run_analysis_surviving_traced(
+        filtered,
+        profile,
+        cfg,
+        alive,
+        SimTime::ZERO,
+        &Recorder::off(),
+    )
+}
+
+/// [`run_analysis_surviving`] with a [`Recorder`] attached; see
+/// [`run_analysis_traced`] for the meaning of `base`.
+pub fn run_analysis_surviving_traced(
+    filtered: &[u64],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    alive: &[bool],
+    base: SimTime,
+    rec: &Recorder,
 ) -> JobReport {
     let m = filtered.len();
     assert_eq!(m, alive.len(), "one liveness flag per partition");
@@ -728,7 +989,7 @@ pub fn run_analysis_surviving(
         reducers: survivors,
         est_traffic: 0,
     };
-    run_analysis_aggregated(filtered, profile, cfg, &plan)
+    run_analysis_aggregated_traced(filtered, profile, cfg, &plan, base, rec)
 }
 
 /// Full pipeline under fault injection: fault-tolerant selection of
@@ -743,14 +1004,52 @@ pub fn run_pipeline_faulty(
     ana_cfg: &AnalysisConfig,
     faults: &FaultConfig,
 ) -> ExecutionReport {
+    run_pipeline_faulty_traced(
+        dfs,
+        subdataset,
+        scheduler,
+        job,
+        sel_cfg,
+        ana_cfg,
+        faults,
+        &Recorder::off(),
+    )
+}
+
+/// [`run_pipeline_faulty`] with a [`Recorder`] attached: the crash
+/// lifecycle instants from selection and the survivor-only analysis spans
+/// land on one simulated timeline. With a disabled recorder this is exactly
+/// [`run_pipeline_faulty`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_faulty_traced(
+    dfs: &Dfs,
+    subdataset: SubDatasetId,
+    scheduler: &mut dyn MapScheduler,
+    job: &JobProfile,
+    sel_cfg: &SelectionConfig,
+    ana_cfg: &AnalysisConfig,
+    faults: &FaultConfig,
+    rec: &Recorder,
+) -> ExecutionReport {
     let truth = dfs.subdataset_distribution(subdataset);
-    let selection = run_selection_faulty(dfs, &truth, scheduler, sel_cfg, faults);
+    let selection = run_selection_faulty_traced(dfs, &truth, scheduler, sel_cfg, faults, rec);
     let m = dfs.config().topology.len();
     let alive: Vec<bool> = (0..m)
         .map(|n| !selection.faults.crashed_nodes.contains(&n))
         .collect();
-    let job = run_analysis_surviving(&selection.per_node_bytes, job, ana_cfg, &alive);
-    ExecutionReport { selection, job }
+    let job = run_analysis_surviving_traced(
+        &selection.per_node_bytes,
+        job,
+        ana_cfg,
+        &alive,
+        selection.end,
+        rec,
+    );
+    ExecutionReport {
+        selection,
+        job,
+        obs: None,
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,22 @@
 //! Execution reports: everything the paper's figures read off a run.
+//!
+//! Every duration in these structs is **simulated** time — seconds (or
+//! [`SimTime`] instants) on the discrete-event clock, never wall time.
 
 use datanet::MetaHealth;
 use datanet_cluster::SimTime;
 use datanet_dfs::BlockId;
+use datanet_obs::ObsSummary;
 use datanet_stats::Summary;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+/// End-to-end pipeline duration in simulated seconds: the selection phase
+/// runs first, then the analysis job starts from its end. The single place
+/// this sum is defined — report consumers and bench bins route through it
+/// instead of re-deriving the arithmetic.
+pub fn total_secs(selection_end: SimTime, job_makespan_secs: f64) -> f64 {
+    selection_end.as_secs_f64() + job_makespan_secs
+}
 
 /// What fault injection did to a run and what recovery cost. All zeros /
 /// empty for a fault-free execution ([`FaultStats::default`]).
@@ -26,11 +38,12 @@ pub struct FaultStats {
     pub unrecoverable_blocks: Vec<BlockId>,
     /// Blocks given up on after exhausting the retry limit.
     pub abandoned_blocks: Vec<BlockId>,
-    /// Seconds from the first crash to phase completion (0 without faults).
+    /// Simulated seconds from the first crash to phase completion (0
+    /// without faults).
     pub recovery_secs: f64,
-    /// Seconds between each crash and the moment the failure detector
-    /// suspected the node, in crash order. Empty under the oracle model
-    /// (PR 1 semantics: crashes are known instantly).
+    /// Simulated seconds between each crash and the moment the failure
+    /// detector suspected the node, in crash order. Empty under the oracle
+    /// model (PR 1 semantics: crashes are known instantly).
     pub detection_latency_secs: Vec<f64>,
 }
 
@@ -56,9 +69,9 @@ pub struct SelectionOutcome {
     pub per_node_bytes: Vec<u64>,
     /// Map-task count per node.
     pub tasks_per_node: Vec<usize>,
-    /// When each node finished its selection tasks.
+    /// When each node finished its selection tasks (simulated instant).
     pub per_node_end: Vec<SimTime>,
-    /// Phase completion (max of per-node ends).
+    /// Phase completion (max of per-node ends; simulated instant).
     pub end: SimTime,
     /// Data-local task assignments.
     pub local_tasks: usize,
@@ -120,14 +133,14 @@ impl SelectionOutcome {
 pub struct JobReport {
     /// Job name.
     pub job: String,
-    /// Per-node map-task durations, seconds — Figure 6(a).
+    /// Per-node map-task durations, simulated seconds — Figure 6(a).
     pub map_secs: Vec<f64>,
-    /// Per-reducer shuffle durations, seconds (first-map-finish → last byte
-    /// received) — Figure 7.
+    /// Per-reducer shuffle durations, simulated seconds (first-map-finish →
+    /// last byte received) — Figure 7.
     pub shuffle_secs: Vec<f64>,
-    /// Per-reducer reduce durations, seconds.
+    /// Per-reducer reduce durations, simulated seconds.
     pub reduce_secs: Vec<f64>,
-    /// End-to-end job time, seconds — the Figure 5(a) bar.
+    /// End-to-end job time, simulated seconds — the Figure 5(a) bar.
     pub makespan_secs: f64,
     /// Intermediate bytes that crossed the network during the shuffle.
     pub shuffle_bytes: u64,
@@ -160,18 +173,41 @@ impl JobReport {
 }
 
 /// A full pipeline run: selection followed by one analysis job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ExecutionReport {
     /// The selection phase.
     pub selection: SelectionOutcome,
     /// The analysis job.
     pub job: JobReport,
+    /// Observability summary when the run was traced (`None` otherwise —
+    /// and then entirely absent from the serialized report, so untraced
+    /// output is byte-identical to pre-observability reports).
+    pub obs: Option<ObsSummary>,
+}
+
+// Hand-written so `obs: None` is *omitted* rather than emitted as `null`:
+// the vendored serde derive has no `#[serde(skip_serializing_if)]`, and
+// recorder-off runs must serialize exactly as they did before the
+// observability plane existed. The derived `Deserialize` above already
+// treats a missing key as `None`.
+impl Serialize for ExecutionReport {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("selection".to_string(), self.selection.to_value()),
+            ("job".to_string(), self.job.to_value()),
+        ];
+        if let Some(obs) = &self.obs {
+            entries.push(("obs".to_string(), obs.to_value()));
+        }
+        Value::Object(entries)
+    }
 }
 
 impl ExecutionReport {
-    /// Total pipeline seconds (selection + analysis).
+    /// Total pipeline duration in simulated seconds (selection + analysis),
+    /// via the shared [`total_secs`] helper.
     pub fn total_secs(&self) -> f64 {
-        self.selection.end.as_secs_f64() + self.job.makespan_secs
+        total_secs(self.selection.end, self.job.makespan_secs)
     }
 
     /// Fault accounting for the pipeline (faults are injected during
@@ -229,8 +265,46 @@ mod tests {
         let r = ExecutionReport {
             selection: outcome(),
             job: j,
+            obs: None,
         };
         assert!((r.total_secs() - 7.0).abs() < 1e-12);
+        assert_eq!(
+            r.total_secs(),
+            total_secs(r.selection.end, r.job.makespan_secs)
+        );
+    }
+
+    #[test]
+    fn untraced_report_serializes_without_obs_key() {
+        let r = ExecutionReport {
+            selection: outcome(),
+            job: JobReport {
+                job: "wc".into(),
+                map_secs: vec![1.0],
+                shuffle_secs: vec![0.5],
+                reduce_secs: vec![0.2],
+                makespan_secs: 5.0,
+                shuffle_bytes: 123,
+                cpu_util: vec![0.5],
+            },
+            obs: None,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("obs"),
+            "recorder-off reports must not mention obs: {json}"
+        );
+        let back: ExecutionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+
+        let traced = ExecutionReport {
+            obs: Some(ObsSummary::default()),
+            ..r.clone()
+        };
+        let json = serde_json::to_string(&traced).unwrap();
+        assert!(json.contains("\"obs\""));
+        let back: ExecutionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, traced);
     }
 
     #[test]

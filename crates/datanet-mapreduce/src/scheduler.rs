@@ -7,6 +7,7 @@
 use datanet::planner::{Algorithm1, Assignment, BalancePolicy};
 use datanet::{DegradedView, RungCounts, SubDatasetView};
 use datanet_dfs::{BlockId, Dfs, NameNode, NodeId};
+use datanet_obs::{Category, Domain, Recorder, SpanCtx};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -33,6 +34,24 @@ pub trait MapScheduler {
     /// replica; blocks with none are triaged as unrecoverable before this
     /// call.
     fn node_lost(&mut self, node: NodeId, requeue: &[BlockId]);
+
+    /// Record the re-plan that [`MapScheduler::node_lost`] just performed:
+    /// a `replan` instant at `now_us` (simulated clock) attributed to the
+    /// dead node, which closes the crash→suspicion→re-plan chain in
+    /// traces. The engine calls this right after `node_lost`; overrides add
+    /// a scheduler-specific note (what the re-plan actually did) but must
+    /// keep the `replan` instant itself.
+    fn record_replan(&self, rec: &Recorder, now_us: u64, dead: NodeId, requeued: usize) {
+        rec.instant(
+            Category::Replan,
+            "replan",
+            Domain::Sim,
+            now_us,
+            SpanCtx::default()
+                .node(dead.index())
+                .note(format!("requeued {requeued}")),
+        );
+    }
 }
 
 /// Hadoop's default block-locality scheduling (the paper's "without
@@ -111,6 +130,19 @@ impl MapScheduler for LocalityScheduler {
         self.local[node.index()].clear();
         self.remaining.extend(requeue.iter().copied());
     }
+
+    fn record_replan(&self, rec: &Recorder, now_us: u64, dead: NodeId, requeued: usize) {
+        rec.instant(
+            Category::Replan,
+            "replan",
+            Domain::Sim,
+            now_us,
+            SpanCtx::default().node(dead.index()).note(format!(
+                "locality: requeued {requeued} into pool of {}",
+                self.remaining.len()
+            )),
+        );
+    }
 }
 
 /// The DataNet scheduler: Algorithm 1 driven live by worker pulls
@@ -157,6 +189,19 @@ impl MapScheduler for DataNetScheduler {
         // replicas, and recomputes capability-proportional targets over
         // the survivors.
         self.alg.node_lost(node, requeue);
+    }
+
+    fn record_replan(&self, rec: &Recorder, now_us: u64, dead: NodeId, requeued: usize) {
+        rec.instant(
+            Category::Replan,
+            "replan",
+            Domain::Sim,
+            now_us,
+            SpanCtx::default().node(dead.index()).note(format!(
+                "algorithm1: requeued {requeued}, recomputed survivor targets, {} unassigned",
+                self.alg.remaining()
+            )),
+        );
     }
 }
 
@@ -227,6 +272,20 @@ impl MapScheduler for ResilientScheduler {
             .partition(|b| self.view_blocks.contains(b));
         self.alg.node_lost(node, &planned);
         self.fallback.node_lost(node, &unknown);
+    }
+
+    fn record_replan(&self, rec: &Recorder, now_us: u64, dead: NodeId, requeued: usize) {
+        rec.instant(
+            Category::Replan,
+            "replan",
+            Domain::Sim,
+            now_us,
+            SpanCtx::default().node(dead.index()).note(format!(
+                "resilient: requeued {requeued} across rungs (planned {}, fallback {})",
+                self.alg.remaining(),
+                self.fallback.remaining()
+            )),
+        );
     }
 }
 
@@ -317,6 +376,18 @@ impl MapScheduler for PlannedScheduler {
             self.queues[target.index()].push_back(b);
             self.locality[target.index()].push(survivors.contains(&target));
         }
+    }
+
+    fn record_replan(&self, rec: &Recorder, now_us: u64, dead: NodeId, requeued: usize) {
+        rec.instant(
+            Category::Replan,
+            "replan",
+            Domain::Sim,
+            now_us,
+            SpanCtx::default().node(dead.index()).note(format!(
+                "planned: greedily re-homed {requeued} onto least-loaded survivors"
+            )),
+        );
     }
 }
 

@@ -1,0 +1,388 @@
+//! The recording handle threaded through engine, schedulers, store and
+//! scan paths.
+
+use crate::trace::{GaugeSample, InstantEvent, Span, TraceData};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which clock an event's timestamps belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// The simulated clock (`SimTime::as_micros`) — deterministic,
+    /// seed-reproducible.
+    Sim,
+    /// Real microseconds since the recorder was created — host work like
+    /// shard IO and ElasticMap builds.
+    Wall,
+}
+
+impl Domain {
+    /// Short name used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Domain::Sim => "sim",
+            Domain::Wall => "wall",
+        }
+    }
+}
+
+/// Event taxonomy — one variant per instrumented subsystem activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Category {
+    /// Map/reduce task execution on a node (sim clock).
+    Task,
+    /// Block scan during ElasticMap construction (wall clock).
+    Scan,
+    /// Metadata shard load, including replica failover (wall clock).
+    ShardLoad,
+    /// Scheduler re-plan after a node loss (sim clock).
+    Replan,
+    /// Metadata scrub pass (wall clock).
+    Scrub,
+    /// Failure-detection window: crash → suspicion (sim clock).
+    Detection,
+    /// ElasticMap array build over all blocks (wall clock).
+    Build,
+    /// Engine phase envelope: selection, map, shuffle, reduce (sim clock).
+    Phase,
+}
+
+impl Category {
+    /// Lower-case name used as the Chrome-trace `cat` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Task => "task",
+            Category::Scan => "scan",
+            Category::ShardLoad => "shard_load",
+            Category::Replan => "replan",
+            Category::Scrub => "scrub",
+            Category::Detection => "detection",
+            Category::Build => "build",
+            Category::Phase => "phase",
+        }
+    }
+}
+
+/// Handle to an open span, returned by [`Recorder::begin`].
+///
+/// The id is an index into the recorder's span list; a disabled recorder
+/// hands out a sentinel that every later call ignores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// Sentinel handed out by a disabled recorder.
+    pub(crate) const DISABLED: SpanId = SpanId(u64::MAX);
+}
+
+/// Optional attributes attached to a span or instant: which node, block
+/// and sub-dataset the event concerns, plus a free-form note.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanCtx {
+    /// Node the event ran on.
+    pub node: Option<u64>,
+    /// Block the event concerns.
+    pub block: Option<u64>,
+    /// Sub-dataset the event concerns.
+    pub sub: Option<u64>,
+    /// Free-form annotation ("lost", "retry 2", replica index, …).
+    pub note: Option<String>,
+}
+
+impl SpanCtx {
+    /// Set the node attribute.
+    pub fn node(mut self, node: usize) -> Self {
+        self.node = Some(node as u64);
+        self
+    }
+
+    /// Set the block attribute.
+    pub fn block(mut self, block: u64) -> Self {
+        self.block = Some(block);
+        self
+    }
+
+    /// Set the sub-dataset attribute. (A builder setter for the `sub`
+    /// field, not arithmetic subtraction.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(mut self, sub: u64) -> Self {
+        self.sub = Some(sub);
+        self
+    }
+
+    /// Set the note attribute.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+}
+
+/// Cloneable, thread-safe recording handle.
+///
+/// [`Recorder::new`] records into a shared buffer behind a mutex;
+/// [`Recorder::off`] is a no-op handle whose every method early-returns —
+/// instrumented code pays nothing when tracing is disabled. Clones share
+/// the same buffer, so the engine, schedulers and rayon scan workers can
+/// all hold one.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<TraceData>>>,
+    epoch: Instant,
+}
+
+impl Recorder {
+    /// An enabled recorder with an empty buffer. The wall-clock epoch is
+    /// the moment of this call.
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(TraceData::default()))),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A disabled recorder: every method is a no-op.
+    pub fn off() -> Self {
+        Self {
+            inner: None,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Wall-clock microseconds since this recorder was created — the
+    /// timestamp to pass for [`Domain::Wall`] events.
+    pub fn wall_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Open a span starting at `start_us` (microseconds in `domain`).
+    pub fn begin(
+        &self,
+        cat: Category,
+        name: &str,
+        domain: Domain,
+        start_us: u64,
+        ctx: SpanCtx,
+    ) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::DISABLED;
+        };
+        let mut data = inner.lock().unwrap();
+        let id = data.spans.len() as u64;
+        data.spans.push(Span {
+            cat,
+            name: name.to_string(),
+            domain,
+            start_us,
+            end_us: None,
+            ctx,
+        });
+        SpanId(id)
+    }
+
+    /// Close a span at `end_us` (same clock domain as its start).
+    ///
+    /// # Panics
+    /// Panics if `end_us < start_us` — a span ending before it starts is
+    /// always an engine logic error, and catching it here is what makes
+    /// the "spans never run backwards" property structural.
+    pub fn end(&self, span: SpanId, end_us: u64) {
+        self.end_annotated(span, end_us, None);
+    }
+
+    /// Close a span and replace its note ("lost", "abandoned", …).
+    pub fn end_with_note(&self, span: SpanId, end_us: u64, note: &str) {
+        self.end_annotated(span, end_us, Some(note));
+    }
+
+    fn end_annotated(&self, span: SpanId, end_us: u64, note: Option<&str>) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if span == SpanId::DISABLED {
+            return;
+        }
+        let mut data = inner.lock().unwrap();
+        let s = &mut data.spans[span.0 as usize];
+        assert!(
+            end_us >= s.start_us,
+            "span \"{}\" ends at {}us before it starts at {}us",
+            s.name,
+            end_us,
+            s.start_us
+        );
+        assert!(s.end_us.is_none(), "span \"{}\" closed twice", s.name);
+        s.end_us = Some(end_us);
+        if let Some(n) = note {
+            s.ctx.note = Some(n.to_string());
+        }
+    }
+
+    /// Record a point event at `at_us`.
+    pub fn instant(&self, cat: Category, name: &str, domain: Domain, at_us: u64, ctx: SpanCtx) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        inner.lock().unwrap().instants.push(InstantEvent {
+            cat,
+            name: name.to_string(),
+            domain,
+            at_us,
+            ctx,
+        });
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn add(&self, counter: &str, delta: u64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut data = inner.lock().unwrap();
+        *data.counters.entry(counter.to_string()).or_insert(0) += delta;
+    }
+
+    /// Record a gauge sample (last value wins in the summary; every sample
+    /// is kept for the Chrome counter track).
+    pub fn gauge(&self, name: &str, domain: Domain, at_us: u64, value: f64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        inner.lock().unwrap().gauges.push(GaugeSample {
+            name: name.to_string(),
+            domain,
+            at_us,
+            value,
+        });
+    }
+
+    /// Record a sample into the named Fibonacci histogram (µs base).
+    pub fn observe(&self, hist: &str, value: u64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        inner
+            .lock()
+            .unwrap()
+            .hists
+            .entry(hist.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Drain the recorded events, leaving the buffer empty. A disabled
+    /// recorder yields an empty [`TraceData`].
+    pub fn take(&self) -> TraceData {
+        match &self.inner {
+            Some(inner) => std::mem::take(&mut *inner.lock().unwrap()),
+            None => TraceData::default(),
+        }
+    }
+
+    /// Clone the recorded events without draining.
+    pub fn snapshot(&self) -> TraceData {
+        match &self.inner {
+            Some(inner) => inner.lock().unwrap().clone(),
+            None => TraceData::default(),
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::off();
+        assert!(!rec.is_enabled());
+        let span = rec.begin(Category::Task, "t", Domain::Sim, 10, SpanCtx::default());
+        assert_eq!(span, SpanId::DISABLED);
+        rec.end(span, 5); // end < start would panic if recorded
+        rec.add("c", 1);
+        rec.gauge("g", Domain::Sim, 0, 1.0);
+        rec.observe("h", 42);
+        rec.instant(Category::Replan, "r", Domain::Sim, 0, SpanCtx::default());
+        let data = rec.take();
+        assert_eq!(data.spans.len(), 0);
+        assert_eq!(data.counters.len(), 0);
+    }
+
+    #[test]
+    fn spans_counters_gauges_roundtrip() {
+        let rec = Recorder::new();
+        let s = rec.begin(
+            Category::Task,
+            "map",
+            Domain::Sim,
+            100,
+            SpanCtx::default().node(2).block(7),
+        );
+        rec.end(s, 400);
+        rec.add("tasks", 1);
+        rec.add("tasks", 2);
+        rec.gauge("fpr", Domain::Wall, 5, 0.01);
+        rec.observe("lat", 300);
+        let data = rec.take();
+        assert_eq!(data.spans.len(), 1);
+        assert_eq!(data.spans[0].end_us, Some(400));
+        assert_eq!(data.spans[0].ctx.node, Some(2));
+        assert_eq!(data.counters["tasks"], 3);
+        assert_eq!(data.gauges.len(), 1);
+        assert_eq!(data.hists["lat"].total(), 1);
+        // take() drained.
+        assert_eq!(rec.take().spans.len(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let rec = Recorder::new();
+        let clone = rec.clone();
+        clone.add("x", 1);
+        rec.add("x", 1);
+        assert_eq!(rec.snapshot().counters["x"], 2);
+    }
+
+    /// Property (satellite): spans can never end before they start on the
+    /// recording clock.
+    #[test]
+    #[should_panic(expected = "before it starts")]
+    fn span_cannot_end_before_start() {
+        let rec = Recorder::new();
+        let s = rec.begin(Category::Task, "t", Domain::Sim, 100, SpanCtx::default());
+        rec.end(s, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed twice")]
+    fn span_cannot_close_twice() {
+        let rec = Recorder::new();
+        let s = rec.begin(Category::Task, "t", Domain::Sim, 0, SpanCtx::default());
+        rec.end(s, 1);
+        rec.end(s, 2);
+    }
+
+    #[test]
+    fn recorder_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Recorder>();
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let rec = Recorder::new();
+        let a = rec.wall_us();
+        let b = rec.wall_us();
+        assert!(b >= a);
+    }
+}

@@ -129,6 +129,25 @@ impl SubDatasetView {
     pub fn skippable_blocks(&self, total_blocks: usize) -> usize {
         total_blocks - self.block_count()
     }
+
+    /// Measured bloom false-positive rate of this view against ground truth
+    /// (`truth[b] = |s ∩ b|` for every block): the fraction of blocks that
+    /// do **not** contain the sub-dataset yet appear in the view's τ₂ list.
+    /// Every truth-0 block was a bloom probe, so this is the empirical
+    /// counterpart of the design rate
+    /// ([`crate::elasticmap::BLOOM_EPSILON`]). `None` when no block is a
+    /// true negative (nothing to measure).
+    ///
+    /// # Panics
+    /// Panics if a τ₂ block index is outside `truth`.
+    pub fn measured_bloom_fpr(&self, truth: &[u64]) -> Option<f64> {
+        let negatives = truth.iter().filter(|&&t| t == 0).count();
+        if negatives == 0 {
+            return None;
+        }
+        let false_positives = self.bloom.iter().filter(|b| truth[b.index()] == 0).count();
+        Some(false_positives as f64 / negatives as f64)
+    }
 }
 
 #[cfg(test)]

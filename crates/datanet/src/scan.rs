@@ -7,8 +7,9 @@
 //! time divides by the core count.
 
 use crate::distribution::SubDatasetView;
-use crate::elasticmap::{ElasticMap, Separation, SizeInfo};
+use crate::elasticmap::{ElasticMap, Separation, SizeInfo, BLOOM_EPSILON};
 use datanet_dfs::{BlockId, Dfs, SubDatasetId};
+use datanet_obs::{Category, Domain, Recorder, SpanCtx};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -23,15 +24,58 @@ pub struct ElasticMapArray {
 impl ElasticMapArray {
     /// Build the array with one parallel scan over the DFS blocks.
     pub fn build(dfs: &Dfs, policy: &Separation) -> Self {
-        let maps = dfs
+        Self::build_traced(dfs, policy, &Recorder::off())
+    }
+
+    /// [`ElasticMapArray::build`] with a [`Recorder`] attached: one
+    /// wall-clock `build` span around the whole parallel scan, one `scan`
+    /// span per block (emitted concurrently from the Rayon workers — the
+    /// recorder is `Sync`), and gauges for the resulting meta-data memory
+    /// footprint and the bloom design false-positive rate. With a disabled
+    /// recorder this is exactly [`ElasticMapArray::build`].
+    pub fn build_traced(dfs: &Dfs, policy: &Separation, rec: &Recorder) -> Self {
+        let build = rec.begin(
+            Category::Build,
+            "build",
+            Domain::Wall,
+            rec.wall_us(),
+            SpanCtx::default().note(format!("{} blocks", dfs.block_count())),
+        );
+        let maps: Vec<ElasticMap> = dfs
             .blocks()
             .par_iter()
-            .map(|b| ElasticMap::build(b, policy))
+            .map(|b| {
+                let span = rec.begin(
+                    Category::Scan,
+                    "scan",
+                    Domain::Wall,
+                    rec.wall_us(),
+                    SpanCtx::default().block(b.id().index() as u64),
+                );
+                let map = ElasticMap::build(b, policy);
+                rec.end(span, rec.wall_us());
+                map
+            })
             .collect();
-        Self {
+        rec.end(build, rec.wall_us());
+        rec.add("blocks_scanned", maps.len() as u64);
+        let out = Self {
             maps,
             policy: policy.clone(),
-        }
+        };
+        rec.gauge(
+            "elasticmap_memory_bytes",
+            Domain::Wall,
+            rec.wall_us(),
+            out.memory_bytes() as f64,
+        );
+        rec.gauge(
+            "bloom_design_fpr",
+            Domain::Wall,
+            rec.wall_us(),
+            BLOOM_EPSILON,
+        );
+        out
     }
 
     /// Sequential build (for benchmarking the parallel speedup).
@@ -217,6 +261,60 @@ mod tests {
             let chi = arr.accuracy(&dfs);
             assert!((0.0..=1.0 + 1e-9).contains(&chi), "χ = {chi}");
         }
+    }
+
+    #[test]
+    fn measured_bloom_fpr_stays_within_twice_design_rate() {
+        use crate::elasticmap::BLOOM_EPSILON;
+        let dfs = clustered_dfs();
+        // A low α pushes most sub-datasets into the bloom tail, so truth-0
+        // blocks really are bloom probes.
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.21));
+        let mut false_positives = 0.0;
+        let mut negatives = 0.0;
+        // Present ids (10..50) measure FPR over the blocks that miss them;
+        // absent ids (1000..1100) are all-negative probes.
+        for s in (10..50u64).chain(1000..1100) {
+            let truth = dfs.subdataset_distribution(SubDatasetId(s));
+            let view = arr.view(SubDatasetId(s));
+            let n = truth.iter().filter(|&&t| t == 0).count() as f64;
+            if let Some(fpr) = view.measured_bloom_fpr(&truth) {
+                false_positives += fpr * n;
+                negatives += n;
+            }
+        }
+        assert!(negatives > 500.0, "need a real probe population");
+        let measured = false_positives / negatives;
+        assert!(
+            measured <= 2.0 * BLOOM_EPSILON,
+            "measured bloom FPR {measured} exceeds twice the design rate {BLOOM_EPSILON}"
+        );
+    }
+
+    #[test]
+    fn traced_build_matches_untraced_and_records_scans() {
+        use datanet_obs::Recorder;
+        let dfs = clustered_dfs();
+        let rec = Recorder::new();
+        let traced = ElasticMapArray::build_traced(&dfs, &Separation::Alpha(0.3), &rec);
+        let plain = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        for b in dfs.blocks() {
+            for s in 0..60u64 {
+                assert_eq!(
+                    traced.query(b.id(), SubDatasetId(s)),
+                    plain.query(b.id(), SubDatasetId(s))
+                );
+            }
+        }
+        let data = rec.take();
+        assert_eq!(data.unclosed_spans(), 0);
+        let scans = data.spans.iter().filter(|s| s.name == "scan").count();
+        assert_eq!(scans, dfs.block_count(), "one scan span per block");
+        assert_eq!(data.counters["blocks_scanned"], dfs.block_count() as u64);
+        assert!(data
+            .gauges
+            .iter()
+            .any(|g| g.name == "elasticmap_memory_bytes" && g.value > 0.0));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::distribution::SubDatasetView;
 use crate::elasticmap::{ElasticMap, Separation, SizeInfo, BLOOM_EPSILON};
 use crate::scan::ElasticMapArray;
 use datanet_dfs::{BlockId, SubDatasetId};
+use datanet_obs::{Category, Domain, Recorder, SpanCtx};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -348,6 +349,9 @@ pub struct MetaStore {
     quarantined: BTreeSet<usize>,
     /// Running resilience accounting (reads, repairs, quarantines).
     health: MetaHealth,
+    /// Observability sink (disabled by default): shard-load and scrub
+    /// spans on the wall clock, cache/failover counters.
+    rec: Recorder,
 }
 
 fn shard_file(i: usize) -> String {
@@ -474,6 +478,7 @@ impl MetaStore {
             retry: RetryPolicy::default(),
             quarantined: BTreeSet::new(),
             health: MetaHealth::default(),
+            rec: Recorder::off(),
         })
     }
 
@@ -521,6 +526,13 @@ impl MetaStore {
         self.retry = retry;
     }
 
+    /// Attach an observability recorder: subsequent shard reads emit
+    /// wall-clock `shard-load`/`summary-load` spans and cache counters, and
+    /// scrub passes emit `scrub` spans. Pass [`Recorder::off`] to detach.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
     /// Resilience accounting accumulated by this handle's reads and scrubs.
     pub fn health(&self) -> &MetaHealth {
         &self.health
@@ -565,10 +577,12 @@ impl MetaStore {
         for (d, dir) in self.dirs.clone().iter().enumerate() {
             if d > 0 {
                 self.health.failovers += 1;
+                self.rec.add("meta_failovers", 1);
             }
             for attempt in 0..self.retry.attempts_per_replica {
                 if attempt > 0 {
                     self.health.retries += 1;
+                    self.rec.add("meta_retries", 1);
                     std::thread::sleep(self.retry.backoff(attempt));
                 }
                 let outcome = Self::try_read(dir, file, expect_crc)
@@ -616,11 +630,20 @@ impl MetaStore {
             // LRU touch-on-hit: move to the back, then return it.
             let entry = self.cache.remove(pos).expect("position is valid");
             self.cache.push_back(entry);
+            self.rec.add("shard_cache_hits", 1);
             return Ok(&self.cache.back().expect("just pushed").1);
         }
         if self.quarantined.contains(&index) {
             return Err(StoreError::Quarantined { shard: index });
         }
+        self.rec.add("shard_cache_misses", 1);
+        let span = self.rec.begin(
+            Category::ShardLoad,
+            "shard-load",
+            Domain::Wall,
+            self.rec.wall_us(),
+            SpanCtx::default().note(shard_file(index)),
+        );
         let (start, end) = self.shard_span(index);
         let expect = self.manifest.expected_shard_crc(index);
         let maps = match self.read_with_failover(index, &shard_file(index), expect, |bytes| {
@@ -634,9 +657,14 @@ impl MetaStore {
             }
             Ok(maps)
         }) {
-            Ok(maps) => maps,
+            Ok(maps) => {
+                self.rec.end(span, self.rec.wall_us());
+                maps
+            }
             Err(e) => {
                 self.quarantine(index);
+                self.rec
+                    .end_with_note(span, self.rec.wall_us(), "all replicas failed");
                 return Err(e);
             }
         };
@@ -665,7 +693,14 @@ impl MetaStore {
         );
         let (start, end) = self.shard_span(index);
         let expect = self.manifest.expected_summary_crc(index);
-        self.read_with_failover(index, &summary_file(index), expect, |bytes| {
+        let span = self.rec.begin(
+            Category::ShardLoad,
+            "summary-load",
+            Domain::Wall,
+            self.rec.wall_us(),
+            SpanCtx::default().note(summary_file(index)),
+        );
+        let out = self.read_with_failover(index, &summary_file(index), expect, |bytes| {
             let sums: Vec<BlockSummary> =
                 serde_json::from_slice(bytes).map_err(|e| e.to_string())?;
             if sums.len() != end - start {
@@ -676,7 +711,14 @@ impl MetaStore {
                 ));
             }
             Ok(sums)
-        })
+        });
+        match &out {
+            Ok(_) => self.rec.end(span, self.rec.wall_us()),
+            Err(_) => self
+                .rec
+                .end_with_note(span, self.rec.wall_us(), "all replicas failed"),
+        }
+        out
     }
 
     /// Indices of the shards currently decoded in the cache, least recently
@@ -781,6 +823,13 @@ impl MetaStore {
     /// quarantine of shards that verify again (e.g. after an operator
     /// restored files).
     pub fn scrub(&mut self) -> ScrubReport {
+        let span = self.rec.begin(
+            Category::Scrub,
+            "scrub",
+            Domain::Wall,
+            self.rec.wall_us(),
+            SpanCtx::default(),
+        );
         let mut report = ScrubReport {
             scrubbed: self.manifest.shard_count(),
             ..ScrubReport::default()
@@ -825,6 +874,16 @@ impl MetaStore {
                 None => report.summaries_lost.push(i),
             }
         }
+        self.rec.end_with_note(
+            span,
+            self.rec.wall_us(),
+            &format!(
+                "repaired {}, summaries {}, quarantined {}",
+                report.repaired,
+                report.summaries_repaired,
+                report.quarantined.len()
+            ),
+        );
         report
     }
 
