@@ -1,0 +1,47 @@
+//! Deterministic simulation checking for the DataNet stack — the
+//! FoundationDB idea applied to this workspace: a seed is a whole world.
+//!
+//! One `u64` seed expands into a [`Scenario`] (Zipf workload shape, block
+//! count, cluster size, fault plan, shard-corruption pattern, detection
+//! config). The harness drives the full pipeline for that world — scan →
+//! [`datanet::ElasticMapArray`] → [`datanet::MetaStore`] round-trip → all
+//! four schedulers → faulty/resilient/traced execution — and checks a
+//! catalog of invariant oracles after every run:
+//!
+//! * **byte conservation** — `processed + lost == input` per
+//!   `FaultStats`, for every scheduler, healthy or crashing;
+//! * **Equation 6 envelope** — `|Z − T| ≤ Σ_{b∈τ₂} |truth_b − δ|` at
+//!   every degradation rung, plus τ₁-is-ground-truth and
+//!   no-false-negatives;
+//! * **planner bounds** — greedy credit conservation, Ford–Fulkerson
+//!   all-locality and the fractional-optimum lower bound, and the
+//!   makespan ordering FF ≤ greedy ≤ locality (with a documented
+//!   task-overhead tolerance);
+//! * **traced twins** — every `*_traced` run is bit-identical to its
+//!   untraced twin, and no observability span is left unclosed.
+//!
+//! On a violation, [`shrink`] reduces the failing scenario to a minimal
+//! repro (fewer records, nodes, fault events, less corruption) that still
+//! trips the same oracle, and [`Repro`] serialises it to a self-contained
+//! JSON file that `datanet check --repro FILE` replays.
+//!
+//! Everything is deterministic: same seed → same scenario → same verdict,
+//! bit for bit. The fixed-seed corpus under `tests/corpus/` plus a fresh
+//! batch run in CI (`sim-check` job).
+
+pub mod harness;
+pub mod repro;
+pub mod scenario;
+pub mod shrink;
+
+pub use harness::{check_scenario, check_scenario_with, CheckOptions, CheckOutcome, Violation};
+pub use repro::Repro;
+pub use scenario::{Corruption, CrashEvent, NicEvent, Scenario, SlowEvent};
+pub use shrink::{shrink, Shrunk};
+
+/// Expand `seed` into its scenario and check every invariant oracle.
+pub fn check_seed(seed: u64) -> (Scenario, CheckOutcome) {
+    let sc = Scenario::from_seed(seed);
+    let out = check_scenario(&sc);
+    (sc, out)
+}

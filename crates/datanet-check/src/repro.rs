@@ -1,0 +1,80 @@
+//! Self-contained repro files.
+//!
+//! A [`Repro`] embeds the fully-expanded (usually shrunk) [`Scenario`]
+//! plus the planted-bug options and the violations observed, so a
+//! failure found on one machine replays anywhere with
+//! `datanet check --repro FILE` — no seed stream, corpus or generator
+//! version needed to reproduce it.
+
+use crate::harness::{check_scenario_with, CheckOptions, CheckOutcome, Violation};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// A serialised failing world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Repro {
+    /// The seed whose expansion (before shrinking) first failed.
+    pub original_seed: u64,
+    /// The (shrunk) scenario that still fails.
+    pub scenario: Scenario,
+    /// Planted-bug options the failure was observed under (all-default
+    /// outside the harness's self-test).
+    pub options: CheckOptions,
+    /// The violations observed when the repro was written.
+    pub violations: Vec<Violation>,
+}
+
+impl Repro {
+    /// Write the repro as pretty JSON.
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json)
+    }
+
+    /// Read a repro back.
+    ///
+    /// # Errors
+    /// File-system errors, or a file that is not a valid repro.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        serde_json::from_slice(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Re-run the embedded scenario under the embedded options.
+    pub fn replay(&self) -> CheckOutcome {
+        check_scenario_with(&self.scenario, &self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_roundtrips_through_disk() {
+        let repro = Repro {
+            original_seed: 9,
+            scenario: Scenario::from_seed(9),
+            options: CheckOptions { credit_skew: 1 },
+            violations: vec![Violation {
+                oracle: "greedy-conservation".into(),
+                detail: "credited 1 byte too many".into(),
+            }],
+        };
+        let path = std::env::temp_dir().join(format!(
+            "datanet-check-repro-test-{}.json",
+            std::process::id()
+        ));
+        repro.save(&path).unwrap();
+        let back = Repro::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(back, repro);
+    }
+}

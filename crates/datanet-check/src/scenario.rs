@@ -1,0 +1,299 @@
+//! Seed → world expansion.
+//!
+//! A [`Scenario`] is the fully-expanded description of one simulated
+//! world: dataset shape, cluster size, fault schedule, metadata
+//! corruption and detection mode. It is a plain serialisable value —
+//! the shrinker mutates it field by field, and a repro file embeds it
+//! verbatim so a failure replays without the original seed stream.
+//!
+//! [`Scenario::from_seed`] is the only place randomness enters the
+//! harness; everything downstream (dataset bytes, placement, fault
+//! times) derives deterministically from the expanded fields.
+
+use datanet_cluster::{DetectorConfig, FaultPlan, SimTime};
+use datanet_dfs::{Dfs, DfsConfig, Record, SubDatasetId, Topology};
+use datanet_mapreduce::FaultConfig;
+use datanet_stats::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A scripted fail-stop crash of one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// Crashing node (never 0 — the namenode host stays up).
+    pub node: usize,
+    /// Crash instant, microseconds on the simulated clock.
+    pub at_us: u64,
+}
+
+/// A transient slow-node window (degraded disk/CPU).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowEvent {
+    pub node: usize,
+    pub from_us: u64,
+    pub until_us: u64,
+    /// Task-duration stretch factor (≥ 1).
+    pub factor: f64,
+}
+
+/// A permanent NIC degradation on one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NicEvent {
+    pub node: usize,
+    /// Remaining fraction of NIC bandwidth, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// Which metadata files get corrupted on disk before the degraded runs.
+///
+/// Corruption hits every replica directory, so replica failover cannot
+/// mask it — that is the point: it forces the store down the degradation
+/// ladder (shard lost → summary rung 2; summary also lost → rung 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Corruption {
+    /// Metadata untouched: the degraded view must stay rung 1 everywhere.
+    None,
+    /// Every `stride`-th shard file corrupted in all replicas → those
+    /// shards fall back to their summary sidecars (rung 2).
+    Shards { stride: usize },
+    /// Every `stride`-th shard *and* its summary corrupted in all
+    /// replicas → those blocks become unknown (rung 3).
+    Total { stride: usize },
+}
+
+/// One fully-expanded simulated world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Seed for the dataset/placement RNG (not the scenario seed — the
+    /// shrinker keeps this fixed while it shrinks the structure).
+    pub seed: u64,
+    /// Number of distinct sub-datasets (Zipf support).
+    pub subdatasets: u64,
+    /// Zipf popularity exponent for record→sub-dataset assignment.
+    pub zipf_exponent: f64,
+    /// Records written into the DFS.
+    pub records: usize,
+    /// Cluster size.
+    pub nodes: u32,
+    /// DFS replication factor (≤ nodes).
+    pub replication: usize,
+    /// DFS block size in bytes.
+    pub block_size: u64,
+    /// ElasticMap separation threshold α (Section III-B).
+    pub alpha: f64,
+    /// The sub-dataset under analysis (a popular Zipf rank, so the view
+    /// is non-empty and stays non-empty while shrinking).
+    pub target: u64,
+    /// Blocks per metadata shard file.
+    pub shard_blocks: usize,
+    /// Scripted crashes (distinct nodes, never node 0).
+    pub crashes: Vec<CrashEvent>,
+    /// Transient slow windows.
+    pub slow: Vec<SlowEvent>,
+    /// NIC degradations.
+    pub nic: Vec<NicEvent>,
+    /// Metadata corruption pattern.
+    pub corruption: Corruption,
+    /// `true` → crashes are learned through the heartbeat failure
+    /// detector; `false` → the PR 1 oracle notifies at the crash instant.
+    pub detection: bool,
+    /// Re-execution budget per block.
+    pub max_retries: u32,
+}
+
+impl Scenario {
+    /// Expand `seed` into a world. Deterministic: same seed, same world.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_BEEF);
+        let nodes = rng.gen_range(2u32..10);
+        let subdatasets = rng.gen_range(4u64..18);
+        let records = rng.gen_range(80usize..700);
+        let replication = rng.gen_range(1usize..=3).min(nodes as usize);
+        let zipf_exponent = rng.gen_range(0.8..1.6);
+        let alpha = rng.gen_range(0.2..0.6);
+        let target = rng.gen_range(0..subdatasets.min(4));
+        let shard_blocks = rng.gen_range(2usize..16);
+
+        // Crashes: distinct nodes, node 0 exempt so the cluster never
+        // loses its namenode host and at least one node survives.
+        let crash_count = rng.gen_range(0usize..=2).min(nodes as usize - 1);
+        let mut pool: Vec<usize> = (1..nodes as usize).collect();
+        let mut crashes = Vec::new();
+        for _ in 0..crash_count {
+            let i = rng.gen_range(0..pool.len());
+            crashes.push(CrashEvent {
+                node: pool.swap_remove(i),
+                at_us: rng.gen_range(2_000u64..400_000),
+            });
+        }
+        crashes.sort_by_key(|c| (c.at_us, c.node));
+
+        let slow = if rng.gen_bool(0.35) {
+            let node = rng.gen_range(0..nodes as usize);
+            let from_us = rng.gen_range(0u64..200_000);
+            vec![SlowEvent {
+                node,
+                from_us,
+                until_us: from_us + rng.gen_range(10_000u64..300_000),
+                factor: rng.gen_range(1.5..4.0),
+            }]
+        } else {
+            Vec::new()
+        };
+        let nic = if rng.gen_bool(0.3) {
+            vec![NicEvent {
+                node: rng.gen_range(0..nodes as usize),
+                fraction: rng.gen_range(0.3..0.9),
+            }]
+        } else {
+            Vec::new()
+        };
+
+        let corruption = match rng.gen_range(0u32..5) {
+            0..=2 => Corruption::None,
+            3 => Corruption::Shards {
+                stride: rng.gen_range(2usize..4),
+            },
+            _ => Corruption::Total {
+                stride: rng.gen_range(2usize..4),
+            },
+        };
+
+        Self {
+            seed: rng.gen(),
+            subdatasets,
+            zipf_exponent,
+            records,
+            nodes,
+            replication,
+            block_size: 2_000,
+            alpha,
+            target,
+            shard_blocks,
+            crashes,
+            slow,
+            nic,
+            corruption,
+            detection: rng.gen_bool(0.4),
+            max_retries: 3,
+        }
+    }
+
+    /// Materialise the scenario's DFS: `records` Zipf-distributed records
+    /// written with random placement. Deterministic in `self`.
+    pub fn build_dfs(&self) -> Dfs {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.subdatasets as usize, self.zipf_exponent);
+        let records: Vec<Record> = (0..self.records)
+            .map(|i| {
+                let s = SubDatasetId(zipf.sample(&mut rng) as u64 - 1);
+                let size = rng.gen_range(50u32..500);
+                Record::new(s, i as u64, size, i as u64)
+            })
+            .collect();
+        Dfs::write_random(
+            DfsConfig {
+                block_size: self.block_size,
+                replication: self.replication,
+                topology: Topology::single_rack(self.nodes),
+                seed: rng.gen(),
+            },
+            records,
+        )
+    }
+
+    /// The scripted [`FaultPlan`] for this world.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none(self.nodes as usize);
+        for c in &self.crashes {
+            plan = plan.crash(c.node, SimTime::from_micros(c.at_us));
+        }
+        for s in &self.slow {
+            plan = plan.slow(
+                s.node,
+                SimTime::from_micros(s.from_us),
+                SimTime::from_micros(s.until_us),
+                s.factor,
+            );
+        }
+        for n in &self.nic {
+            plan = plan.degrade_nic(n.node, n.fraction);
+        }
+        plan
+    }
+
+    /// The engine-facing [`FaultConfig`] (oracle or detector-driven).
+    pub fn fault_config(&self) -> FaultConfig {
+        let mut cfg = if self.detection {
+            FaultConfig::with_detection(self.fault_plan(), DetectorConfig::default())
+        } else {
+            FaultConfig::new(self.fault_plan())
+        };
+        cfg.max_retries = self.max_retries;
+        cfg
+    }
+
+    /// Whether any fault is scripted at all.
+    pub fn has_faults(&self) -> bool {
+        !self.crashes.is_empty() || !self.slow.is_empty() || !self.nic.is_empty()
+    }
+
+    /// The sub-dataset under analysis.
+    pub fn target_id(&self) -> SubDatasetId {
+        SubDatasetId(self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic() {
+        for seed in 0..40 {
+            assert_eq!(Scenario::from_seed(seed), Scenario::from_seed(seed));
+        }
+    }
+
+    #[test]
+    fn expanded_scenarios_are_well_formed() {
+        for seed in 0..200 {
+            let sc = Scenario::from_seed(seed);
+            assert!(sc.nodes >= 2);
+            assert!(sc.replication >= 1 && sc.replication <= sc.nodes as usize);
+            assert!(sc.target < sc.subdatasets);
+            assert!(sc.shard_blocks >= 1);
+            for c in &sc.crashes {
+                assert!(c.node != 0 && c.node < sc.nodes as usize);
+            }
+            let distinct: std::collections::HashSet<usize> =
+                sc.crashes.iter().map(|c| c.node).collect();
+            assert_eq!(distinct.len(), sc.crashes.len(), "crash nodes distinct");
+            for s in &sc.slow {
+                assert!(s.node < sc.nodes as usize && s.from_us < s.until_us && s.factor >= 1.0);
+            }
+            for n in &sc.nic {
+                assert!(n.node < sc.nodes as usize && n.fraction > 0.0 && n.fraction <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_build_is_deterministic_and_non_trivial() {
+        let sc = Scenario::from_seed(7);
+        let a = sc.build_dfs();
+        let b = sc.build_dfs();
+        assert_eq!(a.block_count(), b.block_count());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert!(a.block_count() > 1);
+    }
+
+    #[test]
+    fn scenario_json_roundtrips() {
+        let sc = Scenario::from_seed(3);
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sc);
+    }
+}

@@ -1,0 +1,193 @@
+//! Greedy scenario shrinking: turn a failing world into the smallest
+//! world that still fails the *same* oracles.
+//!
+//! Classic property-testing shrinking, specialised to [`Scenario`]:
+//! candidates are ordered most-aggressive-first (halve the dataset,
+//! halve the cluster) down to single-event removals, and a candidate is
+//! accepted only if it still violates at least one of the oracle names
+//! the original failure violated — shrinking must never wander onto a
+//! *different* bug. The loop re-runs until no candidate is accepted, so
+//! the result is a local minimum under all the moves below.
+
+use crate::harness::{check_scenario_with, CheckOptions, CheckOutcome};
+use crate::scenario::{Corruption, Scenario};
+use std::collections::HashSet;
+
+/// A minimised failing scenario and its (still-failing) verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shrunk {
+    pub scenario: Scenario,
+    pub outcome: CheckOutcome,
+}
+
+/// Shrink a failing scenario to a local minimum that trips the same
+/// oracle(s). Returns `None` when `sc` does not fail at all.
+pub fn shrink(sc: &Scenario, opts: &CheckOptions) -> Option<Shrunk> {
+    let first = check_scenario_with(sc, opts);
+    if first.passed() {
+        return None;
+    }
+    let oracles = first.oracle_names();
+    let mut cur = sc.clone();
+    let mut cur_out = first;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            let out = check_scenario_with(&cand, opts);
+            if out.oracle_names().intersection(&oracles).next().is_some() {
+                cur = cand;
+                cur_out = out;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return Some(Shrunk {
+                scenario: cur,
+                outcome: cur_out,
+            });
+        }
+    }
+}
+
+/// Every one-step reduction of `sc`, most aggressive first. All
+/// candidates keep the scenario well-formed (events on live nodes,
+/// replication ≤ nodes, target < subdatasets).
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |c: Scenario| {
+        if c != *sc {
+            out.push(c);
+        }
+    };
+
+    // Halve, then decrement, the dataset.
+    if sc.records > 16 {
+        let mut c = sc.clone();
+        c.records = (sc.records / 2).max(16);
+        push(c);
+    }
+    if sc.records > 8 {
+        let mut c = sc.clone();
+        c.records = sc.records - 1;
+        push(c);
+    }
+
+    // Halve, then decrement, the cluster.
+    if sc.nodes > 2 {
+        push(with_nodes(sc, (sc.nodes / 2).max(2)));
+        push(with_nodes(sc, sc.nodes - 1));
+    }
+
+    // Fewer sub-datasets (keep the target in range).
+    if sc.subdatasets > 2 {
+        let mut c = sc.clone();
+        c.subdatasets = (sc.subdatasets / 2).max(2);
+        c.target = c.target.min(c.subdatasets - 1);
+        push(c);
+    }
+
+    // Less replication.
+    if sc.replication > 1 {
+        let mut c = sc.clone();
+        c.replication -= 1;
+        push(c);
+    }
+
+    // Drop fault events, one list at a time.
+    if !sc.crashes.is_empty() {
+        let mut c = sc.clone();
+        c.crashes.pop();
+        push(c);
+    }
+    if !sc.slow.is_empty() {
+        let mut c = sc.clone();
+        c.slow.pop();
+        push(c);
+    }
+    if !sc.nic.is_empty() {
+        let mut c = sc.clone();
+        c.nic.pop();
+        push(c);
+    }
+
+    // Step down the corruption ladder.
+    match sc.corruption {
+        Corruption::Total { stride } => {
+            let mut c = sc.clone();
+            c.corruption = Corruption::Shards { stride };
+            push(c);
+        }
+        Corruption::Shards { .. } => {
+            let mut c = sc.clone();
+            c.corruption = Corruption::None;
+            push(c);
+        }
+        Corruption::None => {}
+    }
+
+    // Simpler failure semantics: the oracle notifier instead of the
+    // heartbeat detector.
+    if sc.detection {
+        let mut c = sc.clone();
+        c.detection = false;
+        push(c);
+    }
+
+    // Coarser metadata sharding (fewer files in the repro).
+    if sc.shard_blocks < 64 {
+        let mut c = sc.clone();
+        c.shard_blocks = sc.shard_blocks * 2;
+        push(c);
+    }
+
+    out
+}
+
+/// Shrink the cluster to `nodes`, dropping fault events that referenced
+/// removed nodes and clamping replication.
+fn with_nodes(sc: &Scenario, nodes: u32) -> Scenario {
+    let mut c = sc.clone();
+    c.nodes = nodes;
+    c.replication = c.replication.min(nodes as usize);
+    c.crashes.retain(|e| e.node < nodes as usize);
+    c.slow.retain(|e| e.node < nodes as usize);
+    c.nic.retain(|e| e.node < nodes as usize);
+    // Crash nodes must stay distinct and non-zero — retain preserves both.
+    let distinct: HashSet<usize> = c.crashes.iter().map(|e| e.node).collect();
+    debug_assert_eq!(distinct.len(), c.crashes.len());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_stay_well_formed() {
+        for seed in 0..60 {
+            let sc = Scenario::from_seed(seed);
+            for c in candidates(&sc) {
+                assert!(c.nodes >= 2);
+                assert!(c.replication >= 1 && c.replication <= c.nodes as usize);
+                assert!(c.target < c.subdatasets);
+                assert!(c.records >= 8);
+                for e in &c.crashes {
+                    assert!(e.node != 0 && e.node < c.nodes as usize);
+                }
+                for e in &c.slow {
+                    assert!(e.node < c.nodes as usize);
+                }
+                for e in &c.nic {
+                    assert!(e.node < c.nodes as usize);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn passing_scenario_does_not_shrink() {
+        let sc = Scenario::from_seed(0);
+        assert!(shrink(&sc, &CheckOptions::default()).is_none());
+    }
+}

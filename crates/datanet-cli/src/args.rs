@@ -25,19 +25,23 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parse a raw token stream (no program name).
+    /// Parse a raw token stream (no program name). A `--flag` followed by
+    /// another `--option` or the end of the stream is a boolean switch and
+    /// stores the value `"true"` (see [`Args::flag`]).
     ///
     /// # Errors
-    /// A `--flag` at the end of the stream with no value.
+    /// None today; the `Result` is kept so callers are ready for stricter
+    /// parses (duplicate detection, unknown-flag rejection).
     pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
         let mut positional = Vec::new();
         let mut options = HashMap::new();
-        let mut it = tokens.into_iter();
+        let mut it = tokens.into_iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| ArgError(format!("--{key} expects a value")))?;
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().expect("just peeked"),
+                    _ => "true".to_string(),
+                };
                 options.insert(key.to_string(), value);
             } else {
                 positional.push(tok);
@@ -75,6 +79,12 @@ impl Args {
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
         self.get(key)
             .ok_or_else(|| ArgError(format!("missing required --{key} <value>")))
+    }
+
+    /// Boolean switch: `--key` alone (or `--key true`) turns it on;
+    /// absent, `--key false` or `--key 0` leave it off.
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some_and(|v| v != "false" && v != "0")
     }
 
     /// Typed flag with a default.
@@ -122,9 +132,15 @@ mod tests {
     }
 
     #[test]
-    fn dangling_flag_is_an_error() {
-        let err = Args::parse(["--oops".to_string()]).unwrap_err();
-        assert!(err.to_string().contains("--oops"));
+    fn valueless_flag_is_a_boolean_switch() {
+        let a = parse("check --shrink --seeds 10 --verbose");
+        assert!(a.flag("shrink"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("absent"));
+        assert_eq!(a.get("shrink"), Some("true"));
+        assert_eq!(a.get_or("seeds", 0usize).unwrap(), 10);
+        let a = parse("check --shrink false");
+        assert!(!a.flag("shrink"));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use serde::Value;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// Top-level error: argument problems or I/O.
+/// Top-level error: argument problems, I/O, or failed invariant checks.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad usage.
@@ -30,6 +30,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// Metadata-store problems (corruption, version, exhausted replicas).
     Store(StoreError),
+    /// `datanet check` found invariant violations (details already
+    /// printed; this carries the one-line verdict for the exit path).
+    Check(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -38,6 +41,7 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "usage error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Store(e) => write!(f, "metadata error: {e}"),
+            CliError::Check(e) => write!(f, "check failed: {e}"),
         }
     }
 }
@@ -77,11 +81,21 @@ USAGE:
               [--job movingaverage|wordcount|histogram|topk] [--alpha F]
               [--trace OUT.json]
   datanet trace TRACE.json
+  datanet check [--seeds N] [--seed-start N] [--corpus FILE] [--shrink]
+              [--repro-dir DIR]
+  datanet check --repro FILE
   datanet help
 
 `--trace OUT.json` records the run on the observability plane and writes a
 Chrome trace_event file, loadable at https://ui.perfetto.dev. `datanet
 trace` prints a terminal summary of such a file.
+
+`datanet check` runs the deterministic simulation harness: each seed
+expands into a full scenario (workload, cluster, faults, metadata
+corruption) checked against every invariant oracle. `--corpus FILE` adds
+fixed seeds (one per line, `#` comments); `--shrink` minimises failures
+and writes self-contained repro files into `--repro-dir` (default `.`);
+`--repro FILE` replays such a file.
 ";
 
 /// Dispatch a command line (tokens exclude the program name).
@@ -98,6 +112,7 @@ pub fn dispatch(tokens: Vec<String>, out: &mut dyn Write) -> Result<(), CliError
         Some("scrub") => cmd_scrub(&args, out),
         Some("simulate") => cmd_simulate(&args, out),
         Some("trace") => cmd_trace(&args, out),
+        Some("check") => cmd_check(&args, out),
         Some("help") | None => {
             write!(out, "{USAGE}")?;
             Ok(())
@@ -409,6 +424,118 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `datanet check` — the deterministic simulation-check harness from the
+/// command line: expand seeds into scenarios, run the full pipeline per
+/// scenario, check every invariant oracle, optionally shrink failures to
+/// minimal repro files.
+fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use datanet_check::{check_seed, shrink, CheckOptions, Repro, Scenario};
+
+    // Replay mode: a repro file is the whole input.
+    if let Some(path) = args.get("repro") {
+        let repro = Repro::load(Path::new(path))?;
+        let outcome = repro.replay();
+        if outcome.passed() {
+            writeln!(
+                out,
+                "repro {path} (originally seed {}) now passes all {} recorded oracle(s)",
+                repro.original_seed,
+                repro.violations.len()
+            )?;
+            return Ok(());
+        }
+        writeln!(
+            out,
+            "repro {path} (originally seed {}) still fails, {} blocks / {} nodes:",
+            repro.original_seed, outcome.blocks, outcome.nodes
+        )?;
+        for v in &outcome.violations {
+            writeln!(out, "  {v}")?;
+        }
+        return Err(CliError::Check(format!(
+            "{} violation(s) replaying {path}",
+            outcome.violations.len()
+        )));
+    }
+
+    // Seed set: fixed corpus lines plus a fresh batch.
+    let mut seeds: Vec<u64> = Vec::new();
+    if let Some(corpus) = args.get("corpus") {
+        for line in std::fs::read_to_string(corpus)?.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            seeds.push(
+                line.parse()
+                    .map_err(|e| ArgError(format!("{corpus}: bad seed `{line}`: {e}")))?,
+            );
+        }
+    }
+    let fresh: u64 = args.get_or("seeds", if seeds.is_empty() { 50 } else { 0 })?;
+    let start: u64 = args.get_or("seed-start", 0)?;
+    seeds.extend(start..start.saturating_add(fresh));
+    if seeds.is_empty() {
+        return Err(
+            ArgError("nothing to check: give --seeds N and/or --corpus FILE".into()).into(),
+        );
+    }
+
+    let do_shrink = args.flag("shrink");
+    let repro_dir = PathBuf::from(args.get("repro-dir").unwrap_or("."));
+    let mut failed = 0usize;
+    for &seed in &seeds {
+        let (_, outcome) = check_seed(seed);
+        if outcome.passed() {
+            continue;
+        }
+        failed += 1;
+        writeln!(
+            out,
+            "seed {seed} VIOLATED {} oracle(s) ({} blocks / {} nodes):",
+            outcome.violations.len(),
+            outcome.blocks,
+            outcome.nodes
+        )?;
+        for v in &outcome.violations {
+            writeln!(out, "  {v}")?;
+        }
+        if do_shrink {
+            let sc = Scenario::from_seed(seed);
+            if let Some(min) = shrink(&sc, &CheckOptions::default()) {
+                std::fs::create_dir_all(&repro_dir)?;
+                let path = repro_dir.join(format!("repro-seed-{seed}.json"));
+                Repro {
+                    original_seed: seed,
+                    scenario: min.scenario,
+                    options: CheckOptions::default(),
+                    violations: min.outcome.violations.clone(),
+                }
+                .save(&path)?;
+                writeln!(
+                    out,
+                    "  shrunk to {} blocks / {} nodes → {}",
+                    min.outcome.blocks,
+                    min.outcome.nodes,
+                    path.display()
+                )?;
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(CliError::Check(format!(
+            "{failed} of {} seed(s) violated invariants",
+            seeds.len()
+        )));
+    }
+    writeln!(
+        out,
+        "checked {} seed(s): every invariant oracle held",
+        seeds.len()
+    )?;
+    Ok(())
+}
+
 fn val_u64(v: Option<&Value>) -> u64 {
     match v {
         Some(Value::U64(n)) => *n,
@@ -672,6 +799,49 @@ mod tests {
     #[test]
     fn gen_rejects_unknown_generator() {
         assert!(run("gen pigeons --out /tmp/x.json").is_err());
+    }
+
+    #[test]
+    fn check_passes_on_fresh_seeds() {
+        let s = run("check --seeds 3").unwrap();
+        assert!(s.contains("checked 3 seed(s)"), "{s}");
+        assert!(s.contains("every invariant oracle held"), "{s}");
+    }
+
+    #[test]
+    fn check_reads_a_corpus_file() {
+        let corpus = tmp("corpus.txt");
+        std::fs::write(&corpus, "# two known-good seeds\n0\n1\n").unwrap();
+        let s = run(&format!("check --corpus {corpus} --seeds 1 --seed-start 7")).unwrap();
+        assert!(s.contains("checked 3 seed(s)"), "{s}");
+        let _ = std::fs::remove_file(&corpus);
+    }
+
+    #[test]
+    fn check_with_no_work_is_a_usage_error() {
+        assert!(matches!(run("check --seeds 0"), Err(CliError::Args(_))));
+    }
+
+    #[test]
+    fn check_replays_a_failing_repro_file() {
+        use datanet_check::{shrink, CheckOptions, Repro, Scenario};
+        // Build a genuinely failing repro with the planted-bug hook, then
+        // make sure the CLI replays it to the same verdict and exits
+        // through the Check error path (non-zero, no usage spam).
+        let opts = CheckOptions { credit_skew: 1 };
+        let min = shrink(&Scenario::from_seed(5), &opts).expect("planted bug fails");
+        let path = tmp("repro.json");
+        Repro {
+            original_seed: 5,
+            scenario: min.scenario,
+            options: opts,
+            violations: min.outcome.violations,
+        }
+        .save(Path::new(&path))
+        .unwrap();
+        let err = run(&format!("check --repro {path}")).unwrap_err();
+        assert!(matches!(err, CliError::Check(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -17,7 +17,11 @@ fn main() {
     let mut stdout = std::io::stdout();
     if let Err(e) = commands::dispatch(tokens, &mut stdout) {
         eprintln!("datanet: {e}");
-        eprint!("{}", commands::USAGE);
+        // Usage only helps with usage mistakes; invariant violations from
+        // `datanet check` would scroll their repro pointers off the screen.
+        if matches!(e, commands::CliError::Args(_)) {
+            eprint!("{}", commands::USAGE);
+        }
         std::process::exit(2);
     }
 }

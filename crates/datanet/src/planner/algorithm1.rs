@@ -70,6 +70,9 @@ pub struct Algorithm1 {
     namenode: NameNode,
     /// `alive[i]` — node `i` has not been reported lost.
     alive: Vec<bool>,
+    /// Extra weight credited per assignment — always 0 in production. See
+    /// [`Algorithm1::plant_credit_skew`].
+    credit_skew: u64,
 }
 
 impl Algorithm1 {
@@ -125,7 +128,18 @@ impl Algorithm1 {
             capabilities: capabilities.to_vec(),
             namenode: namenode.clone(),
             alive: vec![true; m],
+            credit_skew: 0,
         }
+    }
+
+    /// Test-only fault hook: credit every assignment with `weight + skew`
+    /// bytes instead of `weight`. The simulation-check harness plants an
+    /// off-by-one here (`skew = 1`) in its self-test to prove the
+    /// conservation oracle catches mis-accounting and shrinks the failing
+    /// seed — see `datanet-check`. Never call this outside tests.
+    #[doc(hidden)]
+    pub fn plant_credit_skew(&mut self, skew: u64) {
+        self.credit_skew = skew;
     }
 
     /// React to the fail-stop loss of `node` (the DataNet re-planning hook):
@@ -330,8 +344,9 @@ impl Algorithm1 {
                 }
             }
         };
-        self.workloads[node.index()] += self.graph.weight(block);
-        self.assigned_total += self.graph.weight(block);
+        let credit = self.graph.weight(block) + self.credit_skew;
+        self.workloads[node.index()] += credit;
+        self.assigned_total += credit;
         self.graph.remove_block(block);
         Some((block, local))
     }

@@ -1,12 +1,17 @@
 //! Reproducibility: the whole stack — generators, DFS placement, scan,
 //! scheduling, simulation — is exactly deterministic under fixed seeds.
 
-use datanet::{ElasticMapArray, Separation};
+use datanet::{ElasticMapArray, MetaStore, Separation};
 use datanet_analytics::profiles::word_count_profile;
 use datanet_bench::{github_dataset, movie_dataset, NODES};
+use datanet_cluster::{FaultPlan, SimTime};
 use datanet_mapreduce::{
-    run_pipeline, AnalysisConfig, DataNetScheduler, LocalityScheduler, SelectionConfig,
+    run_pipeline, run_pipeline_faulty, run_pipeline_faulty_traced, run_pipeline_traced,
+    run_selection, run_selection_faulty, run_selection_faulty_traced, run_selection_resilient,
+    run_selection_resilient_traced, run_selection_traced, AnalysisConfig, DataNetScheduler,
+    FaultConfig, LocalityScheduler, SelectionConfig,
 };
+use datanet_obs::Recorder;
 
 #[test]
 fn movie_pipeline_is_bitwise_reproducible() {
@@ -62,6 +67,193 @@ fn parallel_scan_is_deterministic() {
         }
         assert_eq!(par.view(movie), seq.view(movie));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Traced twins: every `*_traced` entry point must be observation-transparent.
+// The recorder may watch, but never steer — results are bit-identical whether
+// tracing is disabled (`Recorder::off()`), active, or the untraced function
+// is called instead; and an active recorder closes every span it opens.
+
+#[test]
+fn traced_selection_twin_matches_untraced() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let truth = dfs.subdataset_distribution(hot);
+    let run_untraced = || {
+        let mut sched = LocalityScheduler::new(&dfs);
+        run_selection(&dfs, &truth, &mut sched, &SelectionConfig::default())
+    };
+    let run_traced = |rec: &Recorder| {
+        let mut sched = LocalityScheduler::new(&dfs);
+        run_selection_traced(&dfs, &truth, &mut sched, &SelectionConfig::default(), rec)
+    };
+    let plain = run_untraced();
+    assert_eq!(plain, run_traced(&Recorder::off()));
+    let rec = Recorder::new();
+    assert_eq!(plain, run_traced(&rec));
+    let trace = rec.take();
+    assert_eq!(trace.unclosed_spans(), 0);
+    assert!(trace.sim_end_us() > 0, "an active recorder saw the run");
+}
+
+#[test]
+fn traced_pipeline_twin_matches_untraced() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+    let view = arr.view(hot);
+    let run_untraced = || {
+        let mut sched = DataNetScheduler::new(&dfs, &view);
+        run_pipeline(
+            &dfs,
+            hot,
+            &mut sched,
+            &word_count_profile(),
+            &SelectionConfig::default(),
+            &AnalysisConfig::default(),
+        )
+    };
+    let run_traced = |rec: &Recorder| {
+        let mut sched = DataNetScheduler::new(&dfs, &view);
+        run_pipeline_traced(
+            &dfs,
+            hot,
+            &mut sched,
+            &word_count_profile(),
+            &SelectionConfig::default(),
+            &AnalysisConfig::default(),
+            rec,
+        )
+    };
+    let plain = run_untraced();
+    assert_eq!(plain, run_traced(&Recorder::off()));
+    let rec = Recorder::new();
+    assert_eq!(plain, run_traced(&rec));
+    assert_eq!(rec.take().unclosed_spans(), 0);
+}
+
+#[test]
+fn traced_faulty_selection_twin_matches_untraced() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let truth = dfs.subdataset_distribution(hot);
+    let faults = || {
+        FaultConfig::new(
+            FaultPlan::none(NODES as usize)
+                .crash(1, SimTime::from_micros(5_000))
+                .slow(
+                    2,
+                    SimTime::from_micros(0),
+                    SimTime::from_micros(50_000),
+                    3.0,
+                ),
+        )
+    };
+    let run_untraced = || {
+        let mut sched = LocalityScheduler::new(&dfs);
+        run_selection_faulty(
+            &dfs,
+            &truth,
+            &mut sched,
+            &SelectionConfig::default(),
+            &faults(),
+        )
+    };
+    let run_traced = |rec: &Recorder| {
+        let mut sched = LocalityScheduler::new(&dfs);
+        run_selection_faulty_traced(
+            &dfs,
+            &truth,
+            &mut sched,
+            &SelectionConfig::default(),
+            &faults(),
+            rec,
+        )
+    };
+    let plain = run_untraced();
+    assert_eq!(
+        plain.faults.crashed_nodes,
+        vec![1],
+        "the scripted crash must actually fire"
+    );
+    assert_eq!(plain, run_traced(&Recorder::off()));
+    let rec = Recorder::new();
+    assert_eq!(plain, run_traced(&rec));
+    assert_eq!(rec.take().unclosed_spans(), 0);
+}
+
+#[test]
+fn traced_faulty_pipeline_twin_matches_untraced() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let faults =
+        || FaultConfig::new(FaultPlan::none(NODES as usize).crash(2, SimTime::from_micros(8_000)));
+    let run_untraced = || {
+        let mut sched = LocalityScheduler::new(&dfs);
+        run_pipeline_faulty(
+            &dfs,
+            hot,
+            &mut sched,
+            &word_count_profile(),
+            &SelectionConfig::default(),
+            &AnalysisConfig::default(),
+            &faults(),
+        )
+    };
+    let run_traced = |rec: &Recorder| {
+        let mut sched = LocalityScheduler::new(&dfs);
+        run_pipeline_faulty_traced(
+            &dfs,
+            hot,
+            &mut sched,
+            &word_count_profile(),
+            &SelectionConfig::default(),
+            &AnalysisConfig::default(),
+            &faults(),
+            rec,
+        )
+    };
+    let plain = run_untraced();
+    assert_eq!(plain, run_traced(&Recorder::off()));
+    let rec = Recorder::new();
+    assert_eq!(plain, run_traced(&rec));
+    assert_eq!(rec.take().unclosed_spans(), 0);
+}
+
+#[test]
+fn traced_resilient_selection_twin_matches_untraced() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+    let base = std::env::temp_dir().join(format!("datanet-det-twin-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dirs = [base.join("a"), base.join("b")];
+    let refs: Vec<&std::path::Path> = dirs.iter().map(|d| d.as_path()).collect();
+    MetaStore::save_replicated(&arr, &refs, 8).expect("save");
+    // Each run opens its own store: reads populate the shard cache, so a
+    // shared handle would not be a fair twin comparison.
+    let open = || MetaStore::open_replicated(&refs, 2).expect("open");
+    let plain = {
+        let mut store = open();
+        run_selection_resilient(&dfs, hot, &mut store, &SelectionConfig::default(), None)
+    };
+    let run_traced = |rec: &Recorder| {
+        let mut store = open();
+        run_selection_resilient_traced(
+            &dfs,
+            hot,
+            &mut store,
+            &SelectionConfig::default(),
+            None,
+            rec,
+        )
+    };
+    assert_eq!(plain, run_traced(&Recorder::off()));
+    let rec = Recorder::new();
+    assert_eq!(plain, run_traced(&rec));
+    assert_eq!(rec.take().unclosed_spans(), 0);
+    std::fs::remove_dir_all(&base).expect("cleanup");
 }
 
 #[test]

@@ -282,6 +282,47 @@ fn metastore_roundtrips_any_array() {
 }
 
 #[test]
+fn replicated_store_answers_every_query_like_memory() {
+    // save_replicated → open_replicated is a faithful round-trip: the
+    // persisted store answers *every* membership and size query — all
+    // blocks × all sub-datasets — identically to the in-memory array, and
+    // every assembled view is equal too. Replication factor, shard size
+    // and cache pressure vary per case; none may change an answer.
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xe000 + case);
+        let dfs = gen_dfs(&mut rng);
+        let shard = rng.gen_range(1usize..20);
+        let replicas = rng.gen_range(1usize..4);
+        let cache = rng.gen_range(0usize..4);
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        let base =
+            std::env::temp_dir().join(format!("datanet-repl-prop-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let dirs: Vec<std::path::PathBuf> =
+            (0..replicas).map(|i| base.join(format!("r{i}"))).collect();
+        let refs: Vec<&std::path::Path> = dirs.iter().map(|d| d.as_path()).collect();
+        MetaStore::save_replicated(&arr, &refs, shard).expect("save");
+        let mut store = MetaStore::open_replicated(&refs, cache).expect("open");
+        assert_eq!(store.manifest().blocks, arr.len(), "case {case}");
+        for s in 0..20u64 {
+            let s = SubDatasetId(s);
+            for i in 0..arr.len() {
+                let b = BlockId(i as u32);
+                assert_eq!(
+                    store.query(b, s).expect("query"),
+                    arr.query(b, s),
+                    "case {case}: query({i}, {s:?}) diverged after the round-trip"
+                );
+            }
+            assert_eq!(store.view(s).expect("view"), arr.view(s), "case {case}");
+        }
+        // The store never had to repair, fail over or degrade anything.
+        assert!(!store.health().any(), "case {case}: {:?}", store.health());
+        std::fs::remove_dir_all(&base).expect("cleanup");
+    }
+}
+
+#[test]
 fn degraded_bloom_estimates_respect_equation6_envelope() {
     // Degradation-ladder rung 2: when a shard's full copy is lost and the
     // bloom-only summary answers instead, the Equation 6 estimate

@@ -1,0 +1,125 @@
+//! Integration tests for the deterministic simulation-check harness
+//! (`datanet-check`): the fixed-seed corpus, the planted-bug self-test
+//! the acceptance criteria demand, repro round-trips, and determinism
+//! of the checker itself.
+
+use datanet_check::{check_scenario, check_scenario_with, shrink, CheckOptions, Repro, Scenario};
+
+/// Parse `tests/corpus/seeds.txt`: one integer seed per line, `#`
+/// comments and blank lines ignored.
+fn corpus_seeds() -> Vec<u64> {
+    include_str!("corpus/seeds.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse().expect("corpus lines are u64 seeds"))
+        .collect()
+}
+
+/// Every corpus seed expands into a world that passes the full oracle
+/// catalog. This is the regression net: a future PR that breaks byte
+/// conservation, the Equation 6 envelope, planner bounds or traced-twin
+/// purity fails here with the offending seed named.
+#[test]
+fn fixed_seed_corpus_passes() {
+    let seeds = corpus_seeds();
+    assert!(seeds.len() >= 48, "corpus should stay substantial");
+    for seed in seeds {
+        let (_, out) = datanet_check::check_seed(seed);
+        assert!(
+            out.passed(),
+            "corpus seed {seed} violated: {:#?}",
+            out.violations
+        );
+    }
+}
+
+/// The checker is itself deterministic: same seed, same verdict,
+/// violation for violation — a prerequisite for seeds being shareable
+/// bug reports.
+#[test]
+fn checker_is_deterministic() {
+    for seed in [3u64, 17, 29] {
+        let sc = Scenario::from_seed(seed);
+        assert_eq!(check_scenario(&sc), check_scenario(&sc));
+    }
+}
+
+/// Acceptance self-test: an off-by-one planted in Algorithm 1's credit
+/// accounting (behind the test-only `plant_credit_skew` hook) must be
+/// caught by the `greedy-conservation` oracle and shrunk to a world of
+/// ≤ 8 blocks on ≤ 3 nodes that still exhibits it.
+#[test]
+fn planted_credit_bug_is_caught_and_shrunk() {
+    let seed = 5u64;
+    let sc = Scenario::from_seed(seed);
+    assert!(
+        check_scenario(&sc).passed(),
+        "seed {seed} must be clean without the planted bug"
+    );
+
+    let opts = CheckOptions { credit_skew: 1 };
+    let out = check_scenario_with(&sc, &opts);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| v.oracle == "greedy-conservation"),
+        "planted off-by-one not caught: {:#?}",
+        out.violations
+    );
+
+    let shrunk = shrink(&sc, &opts).expect("a failing scenario must shrink");
+    assert!(
+        shrunk
+            .outcome
+            .violations
+            .iter()
+            .any(|v| v.oracle == "greedy-conservation"),
+        "shrinking wandered off the original oracle"
+    );
+    assert!(
+        shrunk.outcome.blocks <= 8,
+        "repro still has {} blocks",
+        shrunk.outcome.blocks
+    );
+    assert!(
+        shrunk.outcome.nodes <= 3,
+        "repro still has {} nodes",
+        shrunk.outcome.nodes
+    );
+    assert!(shrunk.scenario.records <= sc.records);
+    assert!(shrunk.scenario.nodes <= sc.nodes);
+}
+
+/// A shrunk failure round-trips through a repro file and replays to the
+/// same violations on a fresh process — the file alone is the bug report.
+#[test]
+fn repro_file_replays_identically() {
+    let sc = Scenario::from_seed(5);
+    let opts = CheckOptions { credit_skew: 1 };
+    let shrunk = shrink(&sc, &opts).expect("planted bug must fail");
+    let repro = Repro {
+        original_seed: 5,
+        scenario: shrunk.scenario.clone(),
+        options: opts,
+        violations: shrunk.outcome.violations.clone(),
+    };
+    let path = std::env::temp_dir().join(format!(
+        "datanet-simcheck-repro-{}.json",
+        std::process::id()
+    ));
+    repro.save(&path).expect("save repro");
+    let back = Repro::load(&path).expect("load repro");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back, repro);
+    let replayed = back.replay();
+    assert_eq!(replayed.violations, repro.violations);
+}
+
+/// With all-default options the harness finds nothing to shrink on a
+/// passing seed — `shrink` refuses rather than minimising a non-failure.
+#[test]
+fn clean_seed_has_nothing_to_shrink() {
+    let sc = Scenario::from_seed(11);
+    assert!(shrink(&sc, &CheckOptions::default()).is_none());
+}
