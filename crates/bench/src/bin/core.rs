@@ -1,0 +1,64 @@
+//! Hot-path performance trajectory: measures the metadata build / query /
+//! planner speedups over the frozen pre-optimisation reference and gates
+//! them against the committed baseline (see `datanet_bench::core` for the
+//! methodology).
+//!
+//! ```text
+//! core [--quick] [--json BENCH_core.json] [--baseline BENCH_baseline.json]
+//! ```
+//!
+//! `--json` writes the measurement; `--baseline` compares the measured
+//! speedup ratios against a committed `BENCH_baseline.json` and exits
+//! non-zero on a >15% regression or a missed absolute floor — the CI
+//! `perf-gate` job is exactly this invocation.
+
+use datanet_bench::{quick, run_core_bench, CoreBenchReport};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn path_flag(flag: &str) -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let report = run_core_bench(quick());
+    report.print();
+
+    if let Some(path) = path_flag("--json") {
+        fs::write(&path, serde_json::to_vec_pretty(&report).unwrap()).unwrap();
+        println!("wrote JSON report to {}", path.display());
+    }
+
+    if let Some(path) = path_flag("--baseline") {
+        let raw = match fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline: CoreBenchReport = match serde_json::from_str(&raw) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot parse baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = report.gate_against(&baseline);
+        if violations.is_empty() {
+            println!("perf gate: PASS against {}", path.display());
+        } else {
+            eprintln!("perf gate: FAIL against {}", path.display());
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,311 @@
+//! The `core` hot-path benchmark behind `BENCH_core.json` and the CI
+//! `perf-gate` job.
+//!
+//! ## Methodology (DESIGN.md §13)
+//!
+//! Absolute wall times are machine-dependent, so the gate is built on
+//! **within-run speedup ratios**: every run times the frozen pre-PR-5
+//! reference implementations ([`crate::legacy`]) and the current hot path
+//! back to back, in one process, on the identical workload (the paper's
+//! 256-block movie dataset). A slow or noisy runner slows both sides; the
+//! ratio survives. Each side is timed as the *minimum over repetitions*,
+//! the standard way to strip scheduler noise from a micro-measurement.
+//!
+//! Three ratios are gated (committed baseline ± 15%, plus absolute
+//! floors): ElasticMap array build, batched multi-view query, and
+//! scheduling-time planning (view assembly + Algorithm 1). Scan
+//! throughput and single-view latency percentiles are reported for the
+//! trajectory record but not gated — they have no within-run baseline.
+
+use crate::legacy;
+use crate::setup::{movie_dataset, NODES};
+use crate::table::Table;
+use datanet::{plan_balanced_batch, ElasticMapArray, Separation};
+use datanet_dfs::{Dfs, SubDatasetId};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Separation policy used by every measurement (the paper's α = 0.3).
+const ALPHA: f64 = 0.3;
+
+/// Ratio tolerance of the perf gate: current ≥ baseline × (1 − 0.15).
+pub const GATE_TOLERANCE: f64 = 0.15;
+
+/// Absolute floor for the build ratio (acceptance criterion).
+pub const BUILD_FLOOR: f64 = 1.5;
+
+/// Absolute floor for the query/planner ratios (acceptance criterion).
+pub const PLANNER_FLOOR: f64 = 1.3;
+
+/// One `BENCH_core.json` measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreBenchReport {
+    /// Whether the run used the shrunken `--quick` sweep.
+    pub quick: bool,
+    /// Blocks in the workload (paper: 256).
+    pub blocks: usize,
+    /// Sub-dataset ids probed by the query/planner phases.
+    pub probe_ids: usize,
+    /// Raw dataset megabytes scanned by one build.
+    pub raw_mb: f64,
+    /// Current-path scan/build throughput.
+    pub scan_mb_per_s: f64,
+    /// Serial legacy array build, milliseconds (min over reps).
+    pub build_legacy_ms: f64,
+    /// Sharded current array build, milliseconds (min over reps).
+    pub build_ms: f64,
+    /// `build_legacy_ms / build_ms` — the gated build ratio.
+    pub build_speedup: f64,
+    /// Median single-view latency on the current path, microseconds.
+    pub query_p50_us: f64,
+    /// 99th-percentile single-view latency, microseconds.
+    pub query_p99_us: f64,
+    /// Legacy per-id views vs current batched views — the gated query
+    /// ratio.
+    pub query_speedup: f64,
+    /// Legacy view+plan loop, milliseconds (min over reps).
+    pub planner_legacy_ms: f64,
+    /// Batched view+plan, milliseconds (min over reps).
+    pub planner_ms: f64,
+    /// `planner_legacy_ms / planner_ms` — the gated planner ratio.
+    pub planner_speedup: f64,
+}
+
+/// Minimum wall-seconds of `f` over `reps` repetitions.
+fn min_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    best
+}
+
+/// The probe id set: every real movie interleaved from both ends of the
+/// size ranking (hot head, long tail) plus one absent id per eight probes,
+/// capped at `limit` — the shape of a scheduling sweep over a catalogue.
+fn probe_ids(
+    dfs: &Dfs,
+    catalog: &datanet_workloads::MovieCatalog,
+    limit: usize,
+) -> Vec<SubDatasetId> {
+    let ranked = catalog.by_size_desc();
+    let mut ids = Vec::with_capacity(limit);
+    let (mut lo, mut hi) = (0usize, ranked.len());
+    while ids.len() < limit && lo < hi {
+        ids.push(ranked[lo].0);
+        lo += 1;
+        if ids.len() % 8 == 7 {
+            // An id no movie uses: exercises the all-negative bloom path.
+            ids.push(SubDatasetId(u64::MAX - ids.len() as u64));
+        } else if lo < hi {
+            hi -= 1;
+            ids.push(ranked[hi].0);
+        }
+    }
+    ids.truncate(limit);
+    assert!(dfs.block_count() > 0);
+    ids
+}
+
+/// Run the core hot-path benchmark. `quick` shrinks repetitions and the
+/// probe set for CI smoke jobs; the measured ratios keep the same meaning.
+pub fn run_core_bench(quick: bool) -> CoreBenchReport {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let policy = Separation::Alpha(ALPHA);
+    let reps = if quick { 3 } else { 7 };
+    let ids = probe_ids(&dfs, &catalog, if quick { 64 } else { 192 });
+
+    // Build: frozen serial legacy vs current sharded build.
+    let build_legacy = min_secs(reps, || legacy::build(&dfs, &policy));
+    let build_new = min_secs(reps, || ElasticMapArray::build(&dfs, &policy));
+
+    let legacy_maps = legacy::build(&dfs, &policy);
+    let array = ElasticMapArray::build(&dfs, &policy);
+
+    // Query: N legacy single views vs one batched walk.
+    let query_legacy = min_secs(reps, || {
+        ids.iter()
+            .map(|&id| legacy::view(&legacy_maps, id))
+            .collect::<Vec<_>>()
+    });
+    let query_new = min_secs(reps, || array.views(&ids));
+
+    // Single-view latency distribution on the current path.
+    let mut lat_us: Vec<f64> = ids
+        .iter()
+        .map(|&id| min_secs(reps.min(3), || array.view(id)) * 1e6)
+        .collect();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p).round() as usize];
+
+    // Planner: per-id view+plan loop vs the batched entry point.
+    let planner_legacy = min_secs(reps, || legacy::plan_balanced(&dfs, &legacy_maps, &ids));
+    let planner_new = min_secs(reps, || plan_balanced_batch(&dfs, &array, &ids));
+
+    let raw_mb = dfs.total_bytes() as f64 / (1024.0 * 1024.0);
+    CoreBenchReport {
+        quick,
+        blocks: dfs.block_count(),
+        probe_ids: ids.len(),
+        raw_mb,
+        scan_mb_per_s: raw_mb / build_new,
+        build_legacy_ms: build_legacy * 1e3,
+        build_ms: build_new * 1e3,
+        build_speedup: build_legacy / build_new,
+        query_p50_us: pct(0.50),
+        query_p99_us: pct(0.99),
+        query_speedup: query_legacy / query_new,
+        planner_legacy_ms: planner_legacy * 1e3,
+        planner_ms: planner_new * 1e3,
+        planner_speedup: planner_legacy / planner_new,
+    }
+}
+
+impl CoreBenchReport {
+    /// The human-readable summary table (the CLI writes it to its own
+    /// output stream; [`CoreBenchReport::print`] sends it to stdout).
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "== core hot-path bench: {} blocks, {:.1} MB raw, {} probe ids{} ==\n",
+            self.blocks,
+            self.raw_mb,
+            self.probe_ids,
+            if self.quick { " (quick)" } else { "" }
+        );
+        let mut t = Table::new(["phase", "legacy (ms)", "current (ms)", "speedup"]);
+        t.row([
+            "build".to_string(),
+            format!("{:.2}", self.build_legacy_ms),
+            format!("{:.2}", self.build_ms),
+            format!("{:.2}x", self.build_speedup),
+        ]);
+        t.row([
+            "query (batched views)".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{:.2}x", self.query_speedup),
+        ]);
+        t.row([
+            "planner (view+plan)".to_string(),
+            format!("{:.2}", self.planner_legacy_ms),
+            format!("{:.2}", self.planner_ms),
+            format!("{:.2}x", self.planner_speedup),
+        ]);
+        s.push_str(&t.render());
+        s.push_str(&format!(
+            "scan throughput {:.0} MB/s; single-view latency p50 {:.1} us, p99 {:.1} us\n",
+            self.scan_mb_per_s, self.query_p50_us, self.query_p99_us
+        ));
+        s
+    }
+
+    /// Render the human-readable summary table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// The perf gate: each measured ratio must stay within
+    /// [`GATE_TOLERANCE`] of the committed baseline *and* above its
+    /// absolute floor. Returns every violated check, empty = pass.
+    pub fn gate_against(&self, baseline: &CoreBenchReport) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut check = |name: &str, current: f64, base: f64, floor: f64| {
+            let min_ratio = base * (1.0 - GATE_TOLERANCE);
+            if current < min_ratio {
+                violations.push(format!(
+                    "{name} regressed: {current:.2}x vs baseline {base:.2}x \
+                     (tolerance floor {min_ratio:.2}x)"
+                ));
+            }
+            if current < floor {
+                violations.push(format!(
+                    "{name} below absolute floor: {current:.2}x < {floor:.1}x"
+                ));
+            }
+        };
+        check(
+            "build speedup",
+            self.build_speedup,
+            baseline.build_speedup,
+            BUILD_FLOOR,
+        );
+        check(
+            "query speedup",
+            self.query_speedup,
+            baseline.query_speedup,
+            PLANNER_FLOOR,
+        );
+        check(
+            "planner speedup",
+            self.planner_speedup,
+            baseline.planner_speedup,
+            PLANNER_FLOOR,
+        );
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = CoreBenchReport {
+            quick: true,
+            blocks: 256,
+            probe_ids: 64,
+            raw_mb: 64.0,
+            scan_mb_per_s: 100.0,
+            build_legacy_ms: 30.0,
+            build_ms: 10.0,
+            build_speedup: 3.0,
+            query_p50_us: 5.0,
+            query_p99_us: 20.0,
+            query_speedup: 2.0,
+            planner_legacy_ms: 40.0,
+            planner_ms: 20.0,
+            planner_speedup: 2.0,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CoreBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.blocks, 256);
+        assert!((back.build_speedup - 3.0).abs() < 1e-12);
+        assert!(back.gate_against(&r).is_empty(), "identical run must pass");
+    }
+
+    #[test]
+    fn gate_flags_regressions_and_floor_misses() {
+        let base = CoreBenchReport {
+            quick: true,
+            blocks: 256,
+            probe_ids: 64,
+            raw_mb: 64.0,
+            scan_mb_per_s: 100.0,
+            build_legacy_ms: 30.0,
+            build_ms: 10.0,
+            build_speedup: 3.0,
+            query_p50_us: 5.0,
+            query_p99_us: 20.0,
+            query_speedup: 2.0,
+            planner_legacy_ms: 40.0,
+            planner_ms: 20.0,
+            planner_speedup: 2.0,
+        };
+        let mut bad = base.clone();
+        bad.build_speedup = 2.0; // > floor 1.5 but 33% below baseline 3.0
+        bad.planner_speedup = 1.1; // below both baseline-tolerance and floor
+        let v = bad.gate_against(&base);
+        assert_eq!(v.len(), 3, "violations: {v:?}");
+        assert!(v.iter().any(|m| m.contains("build speedup regressed")));
+        assert!(v.iter().any(|m| m.contains("planner speedup regressed")));
+        assert!(v.iter().any(|m| m.contains("below absolute floor")));
+        // Within tolerance passes.
+        let mut ok = base.clone();
+        ok.build_speedup = 2.6; // 13% below 3.0 < 15% tolerance
+        assert!(ok.gate_against(&base).is_empty());
+    }
+}

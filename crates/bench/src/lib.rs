@@ -13,9 +13,12 @@
 //! absolute seconds are not comparable to the paper's testbed and are not
 //! meant to be.
 
+pub mod core;
+pub mod legacy;
 pub mod setup;
 pub mod table;
 
+pub use core::{run_core_bench, CoreBenchReport};
 pub use setup::{github_dataset, movie_dataset, MOVIE_BLOCKS, NODES};
 pub use table::Table;
 

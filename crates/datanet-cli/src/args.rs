@@ -108,6 +108,33 @@ impl Args {
     pub fn positional_len(&self) -> usize {
         self.positional.len()
     }
+
+    /// Reject any option outside `allowed` — commands with a closed flag
+    /// set call this so a typo (`--quik`) fails loudly instead of being
+    /// silently ignored.
+    ///
+    /// # Errors
+    /// Names the first unknown flag and lists the accepted ones.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        let mut unknown: Vec<&str> = self
+            .options
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        match unknown.first() {
+            None => Ok(()),
+            Some(flag) => Err(ArgError(format!(
+                "unknown flag --{flag}; accepted flags: {}",
+                allowed
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +181,30 @@ mod tests {
         let a = parse("gen");
         assert!(a.require("alpha").is_err());
         assert!(a.require_positional(3, "file").is_err());
+    }
+
+    #[test]
+    fn bench_switches_round_trip() {
+        let a = parse("bench --quick --json out.json --baseline BENCH_baseline.json");
+        assert_eq!(a.positional(0), Some("bench"));
+        assert!(a.flag("quick"));
+        assert_eq!(a.get("json"), Some("out.json"));
+        assert_eq!(a.get("baseline"), Some("BENCH_baseline.json"));
+        a.reject_unknown(&["quick", "json", "baseline"]).unwrap();
+        // Flag order must not matter.
+        let b = parse("bench --baseline BENCH_baseline.json --quick");
+        assert!(b.flag("quick"));
+        assert_eq!(b.get("baseline"), Some("BENCH_baseline.json"));
+        assert_eq!(b.get("json"), None);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_the_accepted_list() {
+        let a = parse("bench --quik");
+        let err = a
+            .reject_unknown(&["quick", "json", "baseline"])
+            .unwrap_err();
+        assert!(err.0.contains("--quik"), "{err}");
+        assert!(err.0.contains("--baseline"), "{err}");
     }
 }

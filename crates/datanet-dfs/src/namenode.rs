@@ -6,68 +6,86 @@
 //! mappings.
 
 use crate::ids::{BlockId, NodeId};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::Arc;
 
-/// Block → replica-locations metadata plus the inverted node → blocks index.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct NameNode {
+/// The actual metadata tables, shared immutably between NameNode handles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Tables {
     /// `replicas[b]` = nodes holding block `b`. Dense by BlockId.
     replicas: Vec<Vec<NodeId>>,
     /// `local_blocks[n]` = blocks with a replica on node `n`. Dense by NodeId.
     local_blocks: Vec<Vec<BlockId>>,
 }
 
+/// Block → replica-locations metadata plus the inverted node → blocks index.
+///
+/// The tables live behind an [`Arc`]: cloning a NameNode hands out another
+/// reference to the same immutable snapshot (a refcount bump, not a
+/// per-block deep copy), which is what lets every planner instance carry
+/// its own handle for free — the metadata hot path constructs thousands of
+/// planners against one cluster. [`NameNode::register`] copies-on-write,
+/// so a writer never mutates snapshots other handles are reading.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NameNode {
+    tables: Arc<Tables>,
+}
+
 impl NameNode {
     /// An empty NameNode for a cluster of `nodes` data nodes.
     pub fn new(nodes: usize) -> Self {
         Self {
-            replicas: Vec::new(),
-            local_blocks: vec![Vec::new(); nodes],
+            tables: Arc::new(Tables {
+                replicas: Vec::new(),
+                local_blocks: vec![Vec::new(); nodes],
+            }),
         }
     }
 
     /// Register block `b` with its replica locations. Blocks must be
-    /// registered in id order (the writer seals them in order).
+    /// registered in id order (the writer seals them in order). Copies the
+    /// tables first if other handles share this snapshot.
     ///
     /// # Panics
     /// Panics if the block id is out of order, locations are empty, or a
     /// location refers to an unknown node.
     pub fn register(&mut self, b: BlockId, locations: Vec<NodeId>) {
+        let tables = Arc::make_mut(&mut self.tables);
         assert_eq!(
             b.index(),
-            self.replicas.len(),
+            tables.replicas.len(),
             "blocks must be registered densely in order"
         );
         assert!(!locations.is_empty(), "a block needs at least one replica");
         for &n in &locations {
             assert!(
-                n.index() < self.local_blocks.len(),
+                n.index() < tables.local_blocks.len(),
                 "location {n} outside cluster of {} nodes",
-                self.local_blocks.len()
+                tables.local_blocks.len()
             );
-            self.local_blocks[n.index()].push(b);
+            tables.local_blocks[n.index()].push(b);
         }
-        self.replicas.push(locations);
+        tables.replicas.push(locations);
     }
 
     /// Number of registered blocks.
     pub fn block_count(&self) -> usize {
-        self.replicas.len()
+        self.tables.replicas.len()
     }
 
     /// Number of data nodes.
     pub fn node_count(&self) -> usize {
-        self.local_blocks.len()
+        self.tables.local_blocks.len()
     }
 
     /// Replica locations of a block.
     pub fn replicas(&self, b: BlockId) -> &[NodeId] {
-        &self.replicas[b.index()]
+        &self.tables.replicas[b.index()]
     }
 
     /// Blocks with a replica on node `n`.
     pub fn blocks_on(&self, n: NodeId) -> &[BlockId] {
-        &self.local_blocks[n.index()]
+        &self.tables.local_blocks[n.index()]
     }
 
     /// Whether node `n` holds a replica of block `b`.
@@ -77,7 +95,8 @@ impl NameNode {
 
     /// Iterate `(block, replicas)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &[NodeId])> {
-        self.replicas
+        self.tables
+            .replicas
             .iter()
             .enumerate()
             .map(|(i, locs)| (BlockId(i as u32), locs.as_slice()))
@@ -104,6 +123,45 @@ impl NameNode {
             })
             .map(|(b, _)| b)
             .collect()
+    }
+}
+
+// Hand-written serde keeping the same wire shape the derived impl used when
+// the tables were inline fields, so checkpoints written before the Arc
+// snapshot refactor still load.
+impl Serialize for NameNode {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("replicas".to_string(), self.tables.replicas.to_value()),
+            (
+                "local_blocks".to_string(),
+                self.tables.local_blocks.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for NameNode {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(fields) = value else {
+            return Err(DeError::expected("NameNode object", value));
+        };
+        let mut replicas = None;
+        let mut local_blocks = None;
+        for (k, v) in fields {
+            match k.as_str() {
+                "replicas" => replicas = Some(Vec::<Vec<NodeId>>::from_value(v)?),
+                "local_blocks" => local_blocks = Some(Vec::<Vec<BlockId>>::from_value(v)?),
+                _ => {}
+            }
+        }
+        Ok(Self {
+            tables: Arc::new(Tables {
+                replicas: replicas.ok_or_else(|| DeError::msg("NameNode: missing replicas"))?,
+                local_blocks: local_blocks
+                    .ok_or_else(|| DeError::msg("NameNode: missing local_blocks"))?,
+            }),
+        })
     }
 }
 
@@ -164,6 +222,29 @@ mod tests {
         assert!(nn.surviving_replicas(BlockId(2), &alive).is_empty());
         // Nothing survives an all-dead cluster.
         assert_eq!(nn.lost_blocks(&[false; 4]).len(), 3);
+    }
+
+    #[test]
+    fn serde_preserves_pre_snapshot_wire_shape() {
+        let nn = sample();
+        let v = nn.to_value();
+        // Same field names/order the derived impl on inline fields produced.
+        let Value::Object(fields) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(fields[0].0, "replicas");
+        assert_eq!(fields[1].0, "local_blocks");
+        let back = NameNode::from_value(&v).unwrap();
+        assert_eq!(back, nn);
+    }
+
+    #[test]
+    fn register_after_clone_does_not_disturb_the_clone() {
+        let nn = sample();
+        let mut writer = nn.clone();
+        writer.register(BlockId(3), vec![NodeId(1)]);
+        assert_eq!(nn.block_count(), 3);
+        assert_eq!(writer.block_count(), 4);
     }
 
     #[test]

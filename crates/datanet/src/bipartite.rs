@@ -20,6 +20,16 @@ pub struct DistributionGraph {
     holders: Vec<Option<Vec<NodeId>>>,
     /// `weight[b]` = `|b ∩ s|` as known to the meta-data.
     weight: Vec<u64>,
+    /// Scope blocks sorted lightest-first (weight asc, ties → lowest id).
+    /// Removed blocks stay in place; `cur_asc` skips past them lazily, so
+    /// [`DistributionGraph::lightest`] is amortized O(1) over a plan where
+    /// a full `remaining_blocks()` scan was O(total blocks) per request.
+    order_asc: Vec<(u64, u32)>,
+    cur_asc: usize,
+    /// The same blocks sorted heaviest-first (weight desc, ties → lowest
+    /// id), consumed by `cur_desc` for [`DistributionGraph::heaviest`].
+    order_desc: Vec<(u64, u32)>,
+    cur_desc: usize,
     /// Blocks still in the graph.
     remaining: usize,
 }
@@ -38,6 +48,7 @@ impl DistributionGraph {
         let mut holders: Vec<Option<Vec<NodeId>>> = vec![None; total_blocks];
         let mut weight = vec![0u64; total_blocks];
         let mut adj_node = vec![Vec::new(); namenode.node_count()];
+        let mut order_asc = Vec::new();
         let mut remaining = 0;
         for (b, w) in scope {
             assert!(b.index() < total_blocks, "block {b} unknown to NameNode");
@@ -48,12 +59,20 @@ impl DistributionGraph {
             }
             holders[b.index()] = Some(nodes);
             weight[b.index()] = w;
+            order_asc.push((w, b.0));
             remaining += 1;
         }
+        order_asc.sort_unstable();
+        let mut order_desc = order_asc.clone();
+        order_desc.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         Self {
             adj_node,
             holders,
             weight,
+            order_asc,
+            cur_asc: 0,
+            order_desc,
+            cur_desc: 0,
             remaining,
         }
     }
@@ -102,6 +121,32 @@ impl DistributionGraph {
         self.remaining_blocks().map(|b| self.weight(b)).sum()
     }
 
+    /// The heaviest remaining block (ties → lowest id), amortized O(1) —
+    /// the per-request "global heaviest" candidate of Algorithm 1's paced
+    /// policy, which would otherwise rescan every block per assignment.
+    /// `&mut` because the skip-cursor advances past removed entries.
+    pub fn heaviest(&mut self) -> Option<BlockId> {
+        while let Some(&(_, b)) = self.order_desc.get(self.cur_desc) {
+            if self.holders[b as usize].is_some() {
+                return Some(BlockId(b));
+            }
+            self.cur_desc += 1;
+        }
+        None
+    }
+
+    /// The lightest remaining block (ties → lowest id), amortized O(1) —
+    /// the overshoot-minimising fallback pick of Algorithm 1.
+    pub fn lightest(&mut self) -> Option<BlockId> {
+        while let Some(&(_, b)) = self.order_asc.get(self.cur_asc) {
+            if self.holders[b as usize].is_some() {
+                return Some(BlockId(b));
+            }
+            self.cur_asc += 1;
+        }
+        None
+    }
+
     /// Number of cluster nodes.
     pub fn node_count(&self) -> usize {
         self.adj_node.len()
@@ -116,6 +161,8 @@ impl DistributionGraph {
             self.holders[b.index()].take().is_some(),
             "block {b} not in graph"
         );
+        // The weight-order vectors are untouched: the skip-cursors step
+        // over the dead entry the next time they reach it.
         self.remaining -= 1;
         // adj_node lists are cleaned lazily by the `contains` filter; a
         // periodic compaction keeps them from growing stale.
@@ -147,6 +194,21 @@ impl DistributionGraph {
             }
         }
         self.holders[b.index()] = Some(holders);
+        let w = self.weight[b.index()];
+        // Make sure the order vectors cover the block (they always do when
+        // it came from the original scope), then rewind the skip-cursors:
+        // the revived entry may sit before either cursor. Reinsertion is a
+        // rare fault-recovery path, so the O(n) re-skip is irrelevant.
+        if let Err(pos) = self.order_asc.binary_search(&(w, b.0)) {
+            self.order_asc.insert(pos, (w, b.0));
+            let pos = self
+                .order_desc
+                .binary_search_by(|e| e.0.cmp(&w).reverse().then(e.1.cmp(&b.0)))
+                .unwrap_err();
+            self.order_desc.insert(pos, (w, b.0));
+        }
+        self.cur_asc = 0;
+        self.cur_desc = 0;
         self.remaining += 1;
     }
 

@@ -5,24 +5,47 @@
 //! element instead of the ~85 bits a hash-map entry costs (Section III-A).
 //! Sizing follows the textbook formulas: for `n` expected items at false
 //! positive rate `ε`, `bits = −n·ln ε / ln² 2` and `k = (bits/n)·ln 2`
-//! hash functions. Lookups use double hashing (Kirsch–Mitzenmacher): the
-//! `i`-th probe is `h1 + i·h2`.
+//! hash functions.
+//!
+//! ## Layout
+//!
+//! Rate-sized filters use a **cache-line-blocked** layout (Putze, Sanders &
+//! Singler, *Cache-, Hash- and Space-Efficient Bloom Filters*): the first
+//! hash picks one 512-bit block (8 words — one cache line) and all `k`
+//! probes double-hash *inside* that block, so a negative lookup touches one
+//! cache line instead of `k`. The bit budget is rounded **up** to whole
+//! blocks, which at our filter sizes (hundreds of tail sub-datasets per
+//! ElasticMap) over-provisions enough to absorb the blocking penalty and
+//! keep the measured FPR at the design rate.
+//!
+//! Filters deserialized from pre-blocking stores (and filters built with
+//! explicit [`BloomFilter::with_params`]) keep the original flat layout —
+//! probes modulo the whole bit array — so their membership answers are
+//! bit-for-bit what they were when written.
 
 use datanet_dfs::SubDatasetId;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Bits per cache-line block: 8 × 64 = one x86/ARM cache line.
+const BLOCK_BITS: u64 = 512;
+
+/// Words per cache-line block.
+const BLOCK_WORDS: u64 = BLOCK_BITS / 64;
 
 /// A fixed-size Bloom filter over [`SubDatasetId`]s.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BloomFilter {
     bits: Vec<u64>,
     num_bits: u64,
     num_hashes: u32,
     items: usize,
+    /// Number of 512-bit blocks; 0 means the legacy flat layout.
+    blocks: u64,
 }
 
 impl BloomFilter {
-    /// Build a filter sized for `expected_items` at false-positive rate
-    /// `epsilon`.
+    /// Build a blocked filter sized for `expected_items` at false-positive
+    /// rate `epsilon`.
     ///
     /// # Panics
     /// Panics unless `0 < epsilon < 1`.
@@ -35,10 +58,18 @@ impl BloomFilter {
         let ln2 = std::f64::consts::LN_2;
         let bits = (-n * epsilon.ln() / (ln2 * ln2)).ceil().max(8.0) as u64;
         let k = ((bits as f64 / n) * ln2).round().clamp(1.0, 30.0) as u32;
-        Self::with_params(bits, k)
+        let blocks = bits.div_ceil(BLOCK_BITS);
+        Self {
+            bits: vec![0; (blocks * BLOCK_WORDS) as usize],
+            num_bits: blocks * BLOCK_BITS,
+            num_hashes: k,
+            items: 0,
+            blocks,
+        }
     }
 
-    /// Build a filter with explicit bit count and hash count.
+    /// Build a **flat** filter with explicit bit count and hash count (the
+    /// pre-blocking layout; kept for tests and ablations).
     ///
     /// # Panics
     /// Panics if `num_bits == 0` or `num_hashes == 0`.
@@ -51,6 +82,7 @@ impl BloomFilter {
             num_bits,
             num_hashes,
             items: 0,
+            blocks: 0,
         }
     }
 
@@ -69,12 +101,28 @@ impl BloomFilter {
         (h1, h2)
     }
 
+    /// The word/mask of probe `i` for the id hashed to `(h1, h2)`.
+    /// Blocked: `h1` selects the cache-line block, the in-block offset
+    /// double-hashes off `h1`'s high bits with the odd stride `h2` (odd ⇒
+    /// coprime with 512 ⇒ all `k ≤ 512` probes distinct). Flat: the classic
+    /// Kirsch–Mitzenmacher probe modulo the whole array.
+    #[inline]
+    fn probe(&self, h1: u64, h2: u64, i: u64) -> (usize, u64) {
+        let bit = if self.blocks == 0 {
+            h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits
+        } else {
+            let base = (h1 % self.blocks) * BLOCK_BITS;
+            base + ((h1 >> 32).wrapping_add(i.wrapping_mul(h2)) & (BLOCK_BITS - 1))
+        };
+        ((bit / 64) as usize, 1 << (bit % 64))
+    }
+
     /// Insert an id.
     pub fn insert(&mut self, id: SubDatasetId) {
         let (h1, h2) = Self::hash_pair(id);
         for i in 0..self.num_hashes as u64 {
-            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits;
-            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            let (word, mask) = self.probe(h1, h2, i);
+            self.bits[word] |= mask;
         }
         self.items += 1;
     }
@@ -84,8 +132,8 @@ impl BloomFilter {
     pub fn contains(&self, id: SubDatasetId) -> bool {
         let (h1, h2) = Self::hash_pair(id);
         (0..self.num_hashes as u64).all(|i| {
-            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits;
-            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+            let (word, mask) = self.probe(h1, h2, i);
+            self.bits[word] & mask != 0
         })
     }
 
@@ -104,6 +152,11 @@ impl BloomFilter {
         self.num_hashes
     }
 
+    /// Number of 512-bit cache-line blocks; 0 for the legacy flat layout.
+    pub fn layout_blocks(&self) -> u64 {
+        self.blocks
+    }
+
     /// Memory footprint of the bit array in bytes (what Equation 5 accounts
     /// as `−ln ε / ln² 2` bits per element).
     pub fn memory_bytes(&self) -> usize {
@@ -111,7 +164,9 @@ impl BloomFilter {
     }
 
     /// Expected false-positive rate at the current fill:
-    /// `(1 − e^{−kn/m})^k`.
+    /// `(1 − e^{−kn/m})^k` (the flat-layout formula; for the blocked layout
+    /// it is the leading-order term, the whole-block round-up covering the
+    /// per-block load variance).
     pub fn expected_fpr(&self) -> f64 {
         let k = self.num_hashes as f64;
         let n = self.items as f64;
@@ -123,6 +178,48 @@ impl BloomFilter {
     pub fn fill_ratio(&self) -> f64 {
         let set: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
         set as f64 / self.num_bits as f64
+    }
+}
+
+// Hand-written serde: the `blocks` field was added by the blocked-layout
+// rework, and a filter written before it must keep answering with flat
+// probing — a missing field means `blocks: 0`, never a decode error. (The
+// vendored serde derive has no `#[serde(default)]`.)
+impl Serialize for BloomFilter {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("bits".to_string(), self.bits.to_value()),
+            ("num_bits".to_string(), Value::U64(self.num_bits)),
+            (
+                "num_hashes".to_string(),
+                Value::U64(u64::from(self.num_hashes)),
+            ),
+            ("items".to_string(), Value::U64(self.items as u64)),
+            ("blocks".to_string(), Value::U64(self.blocks)),
+        ])
+    }
+}
+
+impl Deserialize for BloomFilter {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(DeError::expected("bloom filter object", v));
+        }
+        let field = |name: &str| -> Result<&Value, DeError> {
+            v.get(name)
+                .ok_or_else(|| DeError::msg(format!("bloom filter missing field `{name}`")))
+        };
+        let blocks = match v.get("blocks") {
+            None | Some(Value::Null) => 0,
+            Some(b) => u64::from_value(b)?,
+        };
+        Ok(Self {
+            bits: Vec::<u64>::from_value(field("bits")?)?,
+            num_bits: u64::from_value(field("num_bits")?)?,
+            num_hashes: u32::from_value(field("num_hashes")?)?,
+            items: usize::from_value(field("items")?)?,
+            blocks,
+        })
     }
 }
 
@@ -180,12 +277,23 @@ mod tests {
     fn paper_memory_claim_ten_bits_per_item() {
         // Section III-A: "using a bloom filter will cost 10 bits" per
         // sub-dataset (vs 85 in a hash map) — that corresponds to ε ≈ 1%.
+        // The whole-block round-up stays inside the same budget.
         let f = BloomFilter::with_rate(10_000, 0.01);
         let bits_per_item = f.num_bits() as f64 / 10_000.0;
         assert!(
             (9.0..11.0).contains(&bits_per_item),
             "got {bits_per_item} bits/item"
         );
+    }
+
+    #[test]
+    fn rate_sized_filters_are_cache_line_blocked() {
+        let f = BloomFilter::with_rate(10_000, 0.01);
+        assert!(f.layout_blocks() > 0);
+        assert_eq!(f.num_bits(), f.layout_blocks() * 512);
+        assert_eq!(f.memory_bytes() as u64, f.layout_blocks() * 64);
+        // Explicit-parameter filters keep the flat layout.
+        assert_eq!(BloomFilter::with_params(64, 3).layout_blocks(), 0);
     }
 
     #[test]
@@ -215,6 +323,25 @@ mod tests {
         let json = serde_json::to_string(&f).unwrap();
         let g: BloomFilter = serde_json::from_str(&json).unwrap();
         assert_eq!(f, g);
+    }
+
+    #[test]
+    fn pre_blocking_serialization_decodes_as_flat_layout() {
+        // A filter written before the `blocks` field existed: must load and
+        // answer with the original flat probe sequence.
+        let mut flat = BloomFilter::with_params(1024, 5);
+        for i in 0..64u64 {
+            flat.insert(SubDatasetId(i * 3));
+        }
+        let legacy_json = format!(
+            "{{\"bits\":{},\"num_bits\":1024,\"num_hashes\":5,\"items\":64}}",
+            serde_json::to_string(&flat.bits).unwrap()
+        );
+        let g: BloomFilter = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(g.layout_blocks(), 0);
+        for i in 0..200u64 {
+            assert_eq!(g.contains(SubDatasetId(i)), flat.contains(SubDatasetId(i)));
+        }
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! (0,1kb) [1,2) [2,3) [3,5) [5,8) [8,13) [13,21) [21,34) [34kb, ∞)
 //! ```
 
+use crate::symbol::FastMap;
 use datanet_dfs::SubDatasetId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
 
 /// A monotone series of bucket lower bounds (bytes). Bucket `i` covers
 /// `[bounds[i], bounds[i+1])`; the last bucket is unbounded above.
@@ -35,7 +36,9 @@ impl Buckets {
 
     /// Fibonacci progression scaled by `base` bytes: bounds
     /// `0, base, 2·base, 3·base, 5·base, 8·base, …` with `count` finite
-    /// buckets plus the unbounded top bucket.
+    /// buckets plus the unbounded top bucket. A `base` large enough that a
+    /// bound would overflow `u64` simply stops the progression early (the
+    /// top bucket is unbounded anyway), so no input panics.
     ///
     /// # Panics
     /// Panics if `base == 0` or `count == 0`.
@@ -45,8 +48,11 @@ impl Buckets {
         let mut bounds = vec![0u64];
         let (mut a, mut b) = (1u64, 2u64);
         for _ in 0..count {
-            bounds.push(a * base);
-            let next = a + b;
+            match a.checked_mul(base) {
+                Some(bound) if bound > *bounds.last().expect("non-empty") => bounds.push(bound),
+                _ => break,
+            }
+            let next = a.saturating_add(b);
             a = b;
             b = next;
         }
@@ -106,7 +112,9 @@ impl Buckets {
 #[derive(Debug, Clone)]
 pub struct BucketCounter {
     buckets: Buckets,
-    sizes: HashMap<SubDatasetId, u64>,
+    /// Fast-hashed: this map takes one hit per scanned record, the single
+    /// hottest line of the metadata build.
+    sizes: FastMap<SubDatasetId, u64>,
     counts: Vec<usize>,
 }
 
@@ -116,24 +124,49 @@ impl BucketCounter {
         let counts = vec![0; buckets.len()];
         Self {
             buckets,
-            sizes: HashMap::new(),
+            sizes: FastMap::default(),
+            counts,
+        }
+    }
+
+    /// Build a counter from fully-accumulated per-sub-dataset sizes in one
+    /// O(distinct) counting pass. Equivalent to [`BucketCounter::record`]
+    /// over the same data, but skips the per-record incremental bucket
+    /// maintenance — callers that only need the *final* threshold (the
+    /// ElasticMap build) accumulate sizes in a tight loop and bucket once
+    /// here, dropping two `bucket_of` walks from every scanned record.
+    pub fn from_sizes(buckets: Buckets, sizes: FastMap<SubDatasetId, u64>) -> Self {
+        let mut counts = vec![0; buckets.len()];
+        for &size in sizes.values() {
+            counts[buckets.bucket_of(size)] += 1;
+        }
+        Self {
+            buckets,
+            sizes,
             counts,
         }
     }
 
     /// Account `bytes` of one record belonging to `id` — O(1) amortised.
+    /// Sizes saturate at `u64::MAX` rather than overflow. First insertion
+    /// is detected by map vacancy, not by the old size being 0, so repeated
+    /// zero-byte records cannot double-count a sub-dataset.
     pub fn record(&mut self, id: SubDatasetId, bytes: u64) {
-        let entry = self.sizes.entry(id).or_insert(0);
-        let old = *entry;
-        *entry += bytes;
-        let new_bucket = self.buckets.bucket_of(*entry);
-        if old == 0 {
-            self.counts[new_bucket] += 1;
-        } else {
-            let old_bucket = self.buckets.bucket_of(old);
-            if old_bucket != new_bucket {
-                self.counts[old_bucket] -= 1;
-                self.counts[new_bucket] += 1;
+        match self.sizes.entry(id) {
+            Entry::Vacant(e) => {
+                e.insert(bytes);
+                self.counts[self.buckets.bucket_of(bytes)] += 1;
+            }
+            Entry::Occupied(mut e) => {
+                let old = *e.get();
+                let new = old.saturating_add(bytes);
+                *e.get_mut() = new;
+                let old_bucket = self.buckets.bucket_of(old);
+                let new_bucket = self.buckets.bucket_of(new);
+                if old_bucket != new_bucket {
+                    self.counts[old_bucket] -= 1;
+                    self.counts[new_bucket] += 1;
+                }
             }
         }
     }
@@ -149,7 +182,7 @@ impl BucketCounter {
     }
 
     /// The accumulated exact sizes.
-    pub fn sizes(&self) -> &HashMap<SubDatasetId, u64> {
+    pub fn sizes(&self) -> &FastMap<SubDatasetId, u64> {
         &self.sizes
     }
 
@@ -184,7 +217,7 @@ impl BucketCounter {
 
     /// Consume the counter, returning `(sizes, threshold)` for the given
     /// hash-map quota.
-    pub fn into_separated(self, quota: usize) -> (HashMap<SubDatasetId, u64>, u64) {
+    pub fn into_separated(self, quota: usize) -> (FastMap<SubDatasetId, u64>, u64) {
         let threshold = self.dominance_threshold(quota);
         (self.sizes, threshold)
     }
@@ -292,6 +325,68 @@ mod tests {
         assert_eq!(b1mb.lower_bound(1), 16);
         let tiny = Buckets::for_block_size(300);
         assert_eq!(tiny.lower_bound(1), 1);
+    }
+
+    #[test]
+    fn fibonacci_edge_sizes_bucket_exactly() {
+        // A size exactly on a Fibonacci bound belongs to the bucket that
+        // starts there; one byte less stays below.
+        let b = Buckets::fibonacci(1024, 9);
+        for (i, edge) in [1u64, 2, 3, 5, 8, 13, 21, 34, 55].iter().enumerate() {
+            let bound = edge * 1024;
+            assert_eq!(b.bucket_of(bound), i + 1, "at bound {bound}");
+            assert_eq!(b.bucket_of(bound - 1), i, "below bound {bound}");
+        }
+        assert_eq!(b.bucket_of(0), 0);
+        assert_eq!(b.bucket_of(u64::MAX), 9);
+    }
+
+    #[test]
+    fn zero_byte_subdatasets_count_once() {
+        // Regression: first insertion used to be detected by `old == 0`, so
+        // a second zero-byte record for the same id inflated bucket 0.
+        let mut c = BucketCounter::new(Buckets::fibonacci(1024, 9));
+        for _ in 0..5 {
+            c.record(SubDatasetId(1), 0);
+            c.record(SubDatasetId(2), 0);
+        }
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.count(0), 2, "zero-byte ids double-counted");
+        assert_eq!(c.sizes()[&SubDatasetId(1)], 0);
+        // A later real record moves it out of bucket 0 exactly once.
+        c.record(SubDatasetId(1), 2048);
+        assert_eq!(c.count(0), 1);
+        assert_eq!(c.count(2), 1);
+        assert_eq!(c.dominance_threshold(1), 2 * 1024);
+        assert_eq!(c.dominance_threshold(2), 0);
+    }
+
+    #[test]
+    fn near_u64_max_sizes_bucket_deterministically() {
+        // Sizes at the top of the u64 range must neither panic nor wrap.
+        let mut c = BucketCounter::new(Buckets::fibonacci(1024, 9));
+        c.record(SubDatasetId(0), u64::MAX - 5);
+        c.record(SubDatasetId(0), 10); // would overflow; saturates
+        c.record(SubDatasetId(1), u64::MAX);
+        assert_eq!(c.sizes()[&SubDatasetId(0)], u64::MAX);
+        assert_eq!(c.distinct(), 2);
+        let top = c.buckets().len() - 1;
+        assert_eq!(c.count(top), 2);
+        assert_eq!(c.dominance_threshold(2), 55 * 1024);
+    }
+
+    #[test]
+    fn huge_bases_truncate_instead_of_overflowing() {
+        // A base near u64::MAX cannot represent the later Fibonacci bounds;
+        // the progression stops early and stays strictly increasing.
+        let b = Buckets::fibonacci(u64::MAX / 2, 9);
+        assert!(b.len() >= 3, "0, base and 2·base all fit");
+        assert_eq!(b.lower_bound(1), u64::MAX / 2);
+        assert_eq!(b.bucket_of(u64::MAX), b.len() - 1);
+        let b = Buckets::fibonacci(u64::MAX, 9);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.bucket_of(u64::MAX - 1), 0);
+        assert_eq!(b.bucket_of(u64::MAX), 1);
     }
 
     #[test]

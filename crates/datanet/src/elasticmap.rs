@@ -1,18 +1,27 @@
 //! The ElasticMap: per-block hybrid meta-data store (Section III-A).
 //!
-//! For one block, stores the **dominant** sub-datasets' sizes exactly in a
-//! hash map and the **non-dominant** sub-datasets' existence in a Bloom
-//! filter. "Elastic" because the split point slides with the memory budget:
-//! everything in the hash map when memory is plentiful (`Separation::All`),
-//! almost everything in the bloom filter when it is tight.
+//! For one block, stores the **dominant** sub-datasets' sizes exactly and
+//! the **non-dominant** sub-datasets' existence in a Bloom filter.
+//! "Elastic" because the split point slides with the memory budget:
+//! everything exact when memory is plentiful (`Separation::All`), almost
+//! everything in the bloom filter when it is tight.
+//!
+//! The exact side is stored as **sorted parallel arrays** (ids + sizes)
+//! rather than a hash map: a block's dominant set is small (tens of
+//! entries), so a branch-light binary search beats hashing every probe,
+//! stays cache-resident, iterates in deterministic order (which makes the
+//! sharded array build byte-identical to the serial one), and spends zero
+//! bytes on empty hash buckets. On disk the exact side keeps its PR 2
+//! object shape (`{"id": size, …}`), so stores written before this layout
+//! load unchanged.
 
 use crate::bloom::BloomFilter;
 use crate::buckets::{BucketCounter, Buckets};
 use datanet_dfs::{Block, BlockId, SubDatasetId};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use serde::{DeError, Deserialize, Serialize, Value};
 
-/// How to split a block's sub-datasets between hash map and bloom filter.
+/// How to split a block's sub-datasets between the exact side and the bloom
+/// filter.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Separation {
     /// Store the top `alpha` fraction (by the bucket walk) of sub-datasets
@@ -35,7 +44,7 @@ pub enum Separation {
 /// What the ElasticMap knows about a sub-dataset within one block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SizeInfo {
-    /// Dominant: the exact byte size is recorded in the hash map.
+    /// Dominant: the exact byte size is recorded.
     Exact(u64),
     /// Non-dominant: present in the bloom filter; actual size unknown but
     /// below the block's dominance threshold.
@@ -47,10 +56,13 @@ pub enum SizeInfo {
 
 /// Per-block meta-data: the paper's Figure 3 node (`id → quantity` pairs
 /// plus a bloom bitmap).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ElasticMap {
     block: BlockId,
-    exact: HashMap<SubDatasetId, u64>,
+    /// Dominant sub-dataset ids, sorted ascending.
+    exact_ids: Vec<SubDatasetId>,
+    /// `exact_sizes[i]` is the exact byte size of `exact_ids[i]`.
+    exact_sizes: Vec<u64>,
     bloom: BloomFilter,
     /// Number of sub-datasets relegated to the bloom filter.
     bloom_items: usize,
@@ -72,7 +84,8 @@ impl ElasticMap {
     ///
     /// Single scan over the block's records (the bucket counter is O(1) per
     /// record), then an O(#buckets) threshold walk and one pass over the
-    /// distinct sub-datasets to split them — O(records + distinct), no sort.
+    /// distinct sub-datasets to split them — O(records + distinct·log
+    /// distinct) for the final sort of the (small) dominant set.
     ///
     /// Buckets use a Fibonacci progression based at the block's **mean
     /// record size**: per-sub-dataset sizes are integer multiples of record
@@ -91,10 +104,20 @@ impl ElasticMap {
 
     /// [`ElasticMap::build`] with explicit buckets (for tests/ablations).
     pub fn build_with_buckets(block: &Block, policy: &Separation, buckets: Buckets) -> Self {
-        let mut counter = BucketCounter::new(buckets);
+        // Accumulate sizes in a tight one-map-hit-per-record loop, then
+        // bucket the final sizes once: identical counts to incremental
+        // `BucketCounter::record`, minus two bucket walks per record.
+        // Pre-size for the worst case (every record a distinct sub-dataset):
+        // one up-front table, zero rehashes during accumulation.
+        let mut sizes = crate::symbol::FastMap::<SubDatasetId, u64>::with_capacity_and_hasher(
+            block.len(),
+            crate::symbol::FxBuildHasher::default(),
+        );
         for r in block.records() {
-            counter.record(r.subdataset, r.size as u64);
+            let e = sizes.entry(r.subdataset).or_insert(0);
+            *e = e.saturating_add(r.size as u64);
         }
+        let counter = BucketCounter::from_sizes(buckets, sizes);
         let distinct = counter.distinct();
         let threshold = match policy {
             Separation::Alpha(alpha) => {
@@ -109,22 +132,25 @@ impl ElasticMap {
             Separation::All => 0,
             Separation::BloomOnly => u64::MAX,
         };
-        let sizes = counter.sizes().clone();
+        let (sizes, _) = counter.into_separated(0);
         let bloom_count = sizes.values().filter(|&&s| s < threshold).count();
         let mut bloom = BloomFilter::with_rate(bloom_count.max(1), BLOOM_EPSILON);
-        let mut exact = HashMap::new();
+        let mut exact: Vec<(SubDatasetId, u64)> = Vec::with_capacity(distinct - bloom_count);
         let mut bloom_min_bytes: Option<u64> = None;
         for (id, size) in sizes {
             if size >= threshold {
-                exact.insert(id, size);
+                exact.push((id, size));
             } else {
                 bloom.insert(id);
                 bloom_min_bytes = Some(bloom_min_bytes.map_or(size, |m: u64| m.min(size)));
             }
         }
+        exact.sort_unstable_by_key(|&(id, _)| id);
+        let (exact_ids, exact_sizes) = exact.into_iter().unzip();
         Self {
             block: block.id(),
-            exact,
+            exact_ids,
+            exact_sizes,
             bloom,
             bloom_items: bloom_count,
             threshold,
@@ -137,9 +163,18 @@ impl ElasticMap {
         self.block
     }
 
+    /// The exact size of a dominant sub-dataset, if it is one.
+    #[inline]
+    pub fn exact_size(&self, id: SubDatasetId) -> Option<u64> {
+        self.exact_ids
+            .binary_search(&id)
+            .ok()
+            .map(|i| self.exact_sizes[i])
+    }
+
     /// Query a sub-dataset.
     pub fn query(&self, id: SubDatasetId) -> SizeInfo {
-        if let Some(&size) = self.exact.get(&id) {
+        if let Some(size) = self.exact_size(id) {
             SizeInfo::Exact(size)
         } else if self.bloom.contains(id) {
             SizeInfo::Approximate
@@ -148,14 +183,45 @@ impl ElasticMap {
         }
     }
 
-    /// Exact entries (dominant sub-datasets) — the Table I content.
-    pub fn exact_entries(&self) -> impl Iterator<Item = (SubDatasetId, u64)> + '_ {
-        self.exact.iter().map(|(&id, &s)| (id, s))
+    /// Batched [`ElasticMap::query`]: one answer per input id, in input
+    /// order, bit-identical to N single queries. When the input is sorted
+    /// ascending, the exact side is resolved by a single merge-join over
+    /// the sorted id array instead of one binary search per id — the
+    /// amortization the array- and planner-level batch APIs rely on.
+    pub fn query_batch(&self, ids: &[SubDatasetId]) -> Vec<SizeInfo> {
+        let sorted = ids.windows(2).all(|w| w[0] <= w[1]);
+        if !sorted {
+            return ids.iter().map(|&id| self.query(id)).collect();
+        }
+        let mut out = Vec::with_capacity(ids.len());
+        let mut i = 0; // cursor into exact_ids
+        for &id in ids {
+            while i < self.exact_ids.len() && self.exact_ids[i] < id {
+                i += 1;
+            }
+            out.push(if i < self.exact_ids.len() && self.exact_ids[i] == id {
+                SizeInfo::Exact(self.exact_sizes[i])
+            } else if self.bloom.contains(id) {
+                SizeInfo::Approximate
+            } else {
+                SizeInfo::Absent
+            });
+        }
+        out
     }
 
-    /// Number of hash-map entries.
+    /// Exact entries (dominant sub-datasets) in ascending id order — the
+    /// Table I content.
+    pub fn exact_entries(&self) -> impl Iterator<Item = (SubDatasetId, u64)> + '_ {
+        self.exact_ids
+            .iter()
+            .zip(&self.exact_sizes)
+            .map(|(&id, &s)| (id, s))
+    }
+
+    /// Number of exact entries.
     pub fn exact_len(&self) -> usize {
-        self.exact.len()
+        self.exact_ids.len()
     }
 
     /// Number of bloom-filter entries.
@@ -170,7 +236,7 @@ impl ElasticMap {
 
     /// Total distinct sub-datasets recorded.
     pub fn distinct(&self) -> usize {
-        self.exact.len() + self.bloom_items
+        self.exact_ids.len() + self.bloom_items
     }
 
     /// Fraction of sub-datasets stored exactly — the *achieved* α (the
@@ -179,7 +245,7 @@ impl ElasticMap {
         if self.distinct() == 0 {
             return 0.0;
         }
-        self.exact.len() as f64 / self.distinct() as f64
+        self.exact_ids.len() as f64 / self.distinct() as f64
     }
 
     /// Dominance threshold used at build time.
@@ -198,12 +264,78 @@ impl ElasticMap {
             })
     }
 
-    /// Measured memory footprint in bytes: hash-map entries at their
+    /// Measured memory footprint in bytes: exact entries at their
     /// serialized width plus the bloom bit array. Mirrors Equation 5 with
     /// `k` = 96 bits/record (64-bit id + 32-bit size + overhead amortised
     /// by the load factor, see [`crate::memory::MemoryModel`]).
     pub fn memory_bytes(&self) -> usize {
-        self.exact.len() * 12 + self.bloom.memory_bytes()
+        self.exact_ids.len() * 12 + self.bloom.memory_bytes()
+    }
+}
+
+// Hand-written serde preserving the PR 2 on-disk shape: the exact side is
+// an object keyed by the stringified id, entries sorted lexicographically
+// by key (exactly how the vendored serde serializes a `HashMap`, which is
+// what this struct used to hold). Old shards therefore decode through the
+// same path as new ones, and new shards stay byte-stable across builds.
+impl Serialize for ElasticMap {
+    fn to_value(&self) -> Value {
+        let mut exact: Vec<(String, Value)> = self
+            .exact_entries()
+            .map(|(id, s)| (id.0.to_string(), Value::U64(s)))
+            .collect();
+        exact.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(vec![
+            ("block".to_string(), self.block.to_value()),
+            ("exact".to_string(), Value::Object(exact)),
+            ("bloom".to_string(), self.bloom.to_value()),
+            (
+                "bloom_items".to_string(),
+                Value::U64(self.bloom_items as u64),
+            ),
+            ("threshold".to_string(), Value::U64(self.threshold)),
+            (
+                "bloom_min_bytes".to_string(),
+                self.bloom_min_bytes.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ElasticMap {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(DeError::expected("elastic map object", v));
+        }
+        let field = |name: &str| -> Result<&Value, DeError> {
+            v.get(name)
+                .ok_or_else(|| DeError::msg(format!("elastic map missing field `{name}`")))
+        };
+        let mut exact: Vec<(SubDatasetId, u64)> = match field("exact")? {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| {
+                    let id = k
+                        .parse::<u64>()
+                        .map_err(|e| DeError::msg(format!("bad sub-dataset key `{k}`: {e}")))?;
+                    Ok((SubDatasetId(id), u64::from_value(val)?))
+                })
+                .collect::<Result<_, DeError>>()?,
+            other => return Err(DeError::expected("exact size object", other)),
+        };
+        exact.sort_unstable_by_key(|&(id, _)| id);
+        let (exact_ids, exact_sizes) = exact.into_iter().unzip();
+        Ok(Self {
+            block: BlockId::from_value(field("block")?)?,
+            exact_ids,
+            exact_sizes,
+            bloom: BloomFilter::from_value(field("bloom")?)?,
+            bloom_items: usize::from_value(field("bloom_items")?)?,
+            threshold: u64::from_value(field("threshold")?)?,
+            bloom_min_bytes: Option::<u64>::from_value(
+                v.get("bloom_min_bytes").unwrap_or(&Value::Null),
+            )?,
+        })
     }
 }
 
@@ -313,6 +445,26 @@ mod tests {
     }
 
     #[test]
+    fn query_batch_matches_single_queries_any_order() {
+        let b = graded_block();
+        let m = ElasticMap::build(&b, &Separation::Alpha(0.4));
+        // Sorted (merge-join path), unsorted (fallback path), duplicates.
+        let sorted: Vec<SubDatasetId> = (0..30u64).map(SubDatasetId).collect();
+        let unsorted: Vec<SubDatasetId> = [9u64, 2, 150, 2, 0, 7]
+            .iter()
+            .map(|&i| SubDatasetId(i))
+            .collect();
+        for ids in [&sorted[..], &unsorted[..]] {
+            let batch = m.query_batch(ids);
+            assert_eq!(batch.len(), ids.len());
+            for (i, &id) in ids.iter().enumerate() {
+                assert_eq!(batch[i], m.query(id), "id {id}");
+            }
+        }
+        assert!(m.query_batch(&[]).is_empty());
+    }
+
+    #[test]
     fn memory_shrinks_as_alpha_drops() {
         // A block with many distinct sub-datasets shows the elastic
         // trade-off clearly.
@@ -345,6 +497,8 @@ mod tests {
         for i in 0..20u64 {
             assert_eq!(m.query(SubDatasetId(i)), m2.query(SubDatasetId(i)));
         }
+        // Deterministic bytes: re-serializing the decoded map is identical.
+        assert_eq!(json, serde_json::to_string(&m2).unwrap());
     }
 
     #[test]

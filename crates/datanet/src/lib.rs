@@ -49,6 +49,7 @@ pub mod memory;
 pub mod planner;
 pub mod scan;
 pub mod store;
+pub mod symbol;
 
 pub use bipartite::DistributionGraph;
 pub use bloom::BloomFilter;
@@ -61,8 +62,10 @@ pub use planner::{
     plan_aggregation, uniform_baseline_traffic, AggregationPlan, Algorithm1, Assignment,
     BalancePolicy, FordFulkersonPlanner,
 };
+pub use planner::{plan_balanced_batch, plan_maxflow_batch};
 pub use scan::ElasticMapArray;
 pub use store::{BlockSummary, Manifest, MetaStore, RetryPolicy, ScrubReport, StoreError};
+pub use symbol::{FastMap, FxBuildHasher, FxHasher64, Sym, SymbolTable};
 
 /// Common imports for downstream users.
 pub mod prelude {
@@ -76,5 +79,7 @@ pub mod prelude {
         plan_aggregation, uniform_baseline_traffic, AggregationPlan, Algorithm1, Assignment,
         BalancePolicy, FordFulkersonPlanner,
     };
+    pub use crate::planner::{plan_balanced_batch, plan_maxflow_batch};
     pub use crate::scan::ElasticMapArray;
+    pub use crate::symbol::{FastMap, Sym, SymbolTable};
 }

@@ -284,12 +284,7 @@ impl Algorithm1 {
                 // spent; letting every requester bid on the current global
                 // heaviest guarantees heavies drain while *somebody* still
                 // has headroom instead of stranding to the endgame.
-                let global_heaviest = self
-                    .graph
-                    .remaining_blocks()
-                    .map(|b| (self.graph.weight(b), b))
-                    .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
-                    .map(|(_, b)| b);
+                let global_heaviest = self.graph.heaviest();
                 let local_fit = self.pick_largest_fit(node, self.graph.local_blocks(node));
                 let global_fit = self.pick_largest_fit(node, global_heaviest.into_iter());
                 // Rescue rule: fetch the global heaviest remotely when it
@@ -330,7 +325,8 @@ impl Algorithm1 {
                     // (Hadoop schedules non-local maps in this situation).
                     let light_local = self.pick_lightest(self.graph.local_blocks(node));
                     let light_global = self
-                        .pick_lightest(self.graph.remaining_blocks())
+                        .graph
+                        .lightest()
                         .expect("remaining() > 0 guarantees a candidate");
                     match light_local {
                         Some(l)

@@ -15,8 +15,43 @@ pub use aggregation::{plan_aggregation, uniform_baseline_traffic, AggregationPla
 pub use algorithm1::{Algorithm1, BalancePolicy};
 pub use maxflow::FordFulkersonPlanner;
 
-use datanet_dfs::{BlockId, NodeId};
+use crate::scan::ElasticMapArray;
+use datanet_dfs::{BlockId, Dfs, NodeId, SubDatasetId};
 use serde::{Deserialize, Serialize};
+
+/// Plan one [`Algorithm1`] balanced assignment per sub-dataset.
+///
+/// Resolves all the views in one batched array walk
+/// ([`ElasticMapArray::views`] — the per-block exact sides are merge-joined
+/// instead of probed once per id), then runs the greedy planner per view.
+/// Output is element-wise identical to calling
+/// `Algorithm1::new(dfs, &array.view(id)).plan_balanced()` per id.
+pub fn plan_balanced_batch(
+    dfs: &Dfs,
+    array: &ElasticMapArray,
+    ids: &[SubDatasetId],
+) -> Vec<Assignment> {
+    array
+        .views(ids)
+        .iter()
+        .map(|view| Algorithm1::new(dfs, view).plan_balanced())
+        .collect()
+}
+
+/// Plan one [`FordFulkersonPlanner`] optimal assignment per sub-dataset,
+/// resolving all views through the batched array walk first (same
+/// amortisation as [`plan_balanced_batch`]).
+pub fn plan_maxflow_batch(
+    dfs: &Dfs,
+    array: &ElasticMapArray,
+    ids: &[SubDatasetId],
+) -> Vec<Assignment> {
+    array
+        .views(ids)
+        .iter()
+        .map(|view| FordFulkersonPlanner::new(dfs, view).plan())
+        .collect()
+}
 
 /// A complete map-task assignment: each block processed by exactly one node.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -3,33 +3,48 @@
 //! meta-data construction").
 //!
 //! Each block's ElasticMap is independent, so the scan parallelises
-//! trivially across blocks with Rayon — total work stays O(records), wall
-//! time divides by the core count.
+//! trivially across blocks. The build is **sharded**: blocks are split
+//! into fixed-size chunks, each worker builds a partial map vector plus a
+//! chunk-local [`SymbolTable`] of the dominant ids it saw, and the shards
+//! are merged lock-free at the end by simple concatenation in chunk order.
+//! Because symbols are assigned in first-appearance order and chunks are
+//! merged in block order, the sharded build is byte-identical to the
+//! serial one — no worker count or scheduling order leaks into the output.
 
 use crate::distribution::SubDatasetView;
 use crate::elasticmap::{ElasticMap, Separation, SizeInfo, BLOOM_EPSILON};
-use datanet_dfs::{BlockId, Dfs, SubDatasetId};
+use crate::symbol::SymbolTable;
+use datanet_dfs::{Block, BlockId, Dfs, SubDatasetId};
 use datanet_obs::{Category, Domain, Recorder, SpanCtx};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Blocks per build shard. Small enough to load-balance across workers,
+/// large enough that the per-shard symbol tables amortise their merge.
+const SHARD_BLOCKS: usize = 16;
 
 /// The DataNet meta-data structure over all blocks (the paper's Figure 3:
 /// an array with one ElasticMap pointer per block file).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ElasticMapArray {
     maps: Vec<ElasticMap>,
     policy: Separation,
+    /// Every **dominant** (exactly-stored) sub-dataset id, interned in
+    /// block-major first-appearance order. Bloom-tail ids are not listed —
+    /// a bloom filter cannot be enumerated. Lets planner-side code test
+    /// "does this id have exact bytes anywhere?" without touching a map.
+    symbols: SymbolTable,
 }
 
 impl ElasticMapArray {
-    /// Build the array with one parallel scan over the DFS blocks.
+    /// Build the array with one sharded parallel scan over the DFS blocks.
     pub fn build(dfs: &Dfs, policy: &Separation) -> Self {
         Self::build_traced(dfs, policy, &Recorder::off())
     }
 
     /// [`ElasticMapArray::build`] with a [`Recorder`] attached: one
-    /// wall-clock `build` span around the whole parallel scan, one `scan`
-    /// span per block (emitted concurrently from the Rayon workers — the
+    /// wall-clock `build` span around the whole sharded scan, one `scan`
+    /// span per block (emitted concurrently from the workers — the
     /// recorder is `Sync`), and gauges for the resulting meta-data memory
     /// footprint and the bloom design false-positive rate. With a disabled
     /// recorder this is exactly [`ElasticMapArray::build`].
@@ -41,27 +56,46 @@ impl ElasticMapArray {
             rec.wall_us(),
             SpanCtx::default().note(format!("{} blocks", dfs.block_count())),
         );
-        let maps: Vec<ElasticMap> = dfs
-            .blocks()
+        let chunks: Vec<&[Block]> = dfs.blocks().chunks(SHARD_BLOCKS).collect();
+        let shards: Vec<(Vec<ElasticMap>, SymbolTable)> = chunks
             .par_iter()
-            .map(|b| {
-                let span = rec.begin(
-                    Category::Scan,
-                    "scan",
-                    Domain::Wall,
-                    rec.wall_us(),
-                    SpanCtx::default().block(b.id().index() as u64),
-                );
-                let map = ElasticMap::build(b, policy);
-                rec.end(span, rec.wall_us());
-                map
+            .map(|chunk| {
+                let mut maps = Vec::with_capacity(chunk.len());
+                let mut symbols = SymbolTable::new();
+                for b in chunk.iter() {
+                    let span = rec.begin(
+                        Category::Scan,
+                        "scan",
+                        Domain::Wall,
+                        rec.wall_us(),
+                        SpanCtx::default().block(b.id().index() as u64),
+                    );
+                    let map = ElasticMap::build(b, policy);
+                    rec.end(span, rec.wall_us());
+                    for (id, _) in map.exact_entries() {
+                        symbols.intern(id);
+                    }
+                    maps.push(map);
+                }
+                (maps, symbols)
             })
             .collect();
+        // Lock-free merge: shard results arrive fully built; concatenating
+        // them in chunk order reproduces the serial first-appearance order.
+        let mut maps = Vec::with_capacity(dfs.block_count());
+        let mut symbols = SymbolTable::new();
+        for (shard_maps, shard_symbols) in shards {
+            maps.extend(shard_maps);
+            for &id in shard_symbols.ids() {
+                symbols.intern(id);
+            }
+        }
         rec.end(build, rec.wall_us());
         rec.add("blocks_scanned", maps.len() as u64);
         let out = Self {
             maps,
             policy: policy.clone(),
+            symbols,
         };
         rec.gauge(
             "elasticmap_memory_bytes",
@@ -75,25 +109,44 @@ impl ElasticMapArray {
             rec.wall_us(),
             BLOOM_EPSILON,
         );
+        rec.gauge(
+            "symbol_table_len",
+            Domain::Wall,
+            rec.wall_us(),
+            out.symbols.len() as f64,
+        );
         out
     }
 
-    /// Sequential build (for benchmarking the parallel speedup).
+    /// Strictly sequential build (for benchmarking the sharded speedup).
     pub fn build_sequential(dfs: &Dfs, policy: &Separation) -> Self {
-        let maps = dfs
+        let mut symbols = SymbolTable::new();
+        let maps: Vec<ElasticMap> = dfs
             .blocks()
             .iter()
-            .map(|b| ElasticMap::build(b, policy))
+            .map(|b| {
+                let map = ElasticMap::build(b, policy);
+                for (id, _) in map.exact_entries() {
+                    symbols.intern(id);
+                }
+                map
+            })
             .collect();
         Self {
             maps,
             policy: policy.clone(),
+            symbols,
         }
     }
 
     /// The separation policy the array was built with.
     pub fn policy(&self) -> &Separation {
         &self.policy
+    }
+
+    /// The interned dominant-id table (block-major first-appearance order).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
     /// Number of per-block maps.
@@ -121,6 +174,12 @@ impl ElasticMapArray {
         self.map(b).query(s)
     }
 
+    /// Batched [`ElasticMapArray::query`] against one block: one answer per
+    /// input id, in input order (see [`ElasticMap::query_batch`]).
+    pub fn query_batch(&self, b: BlockId, ids: &[SubDatasetId]) -> Vec<SizeInfo> {
+        self.map(b).query_batch(ids)
+    }
+
     /// Collect the distribution view of one sub-dataset across all blocks:
     /// τ₁ (exact blocks with sizes), τ₂ (bloom-only blocks) and δ.
     pub fn view(&self, s: SubDatasetId) -> SubDatasetView {
@@ -138,6 +197,46 @@ impl ElasticMapArray {
             }
         }
         SubDatasetView::new(s, exact, bloom, delta_hint)
+    }
+
+    /// Batched [`ElasticMapArray::view`]: one view per input id, in input
+    /// order, bit-identical to N single `view` calls. Instead of walking
+    /// the whole array once per id, this walks it **once total**, feeding
+    /// each block's map a sorted id list so the exact side resolves by
+    /// merge-join ([`ElasticMap::query_batch`]) — the amortisation the
+    /// planner batch entry points rely on.
+    pub fn views(&self, ids: &[SubDatasetId]) -> Vec<SubDatasetView> {
+        // Sort the probe list once (tracking input positions) so every
+        // per-map batch query takes the merge-join fast path.
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_by_key(|&i| ids[i]);
+        let sorted: Vec<SubDatasetId> = order.iter().map(|&i| ids[i]).collect();
+        let mut exact: Vec<Vec<(BlockId, u64)>> = vec![Vec::new(); ids.len()];
+        let mut bloom: Vec<Vec<BlockId>> = vec![Vec::new(); ids.len()];
+        let mut delta: Vec<u64> = vec![u64::MAX; ids.len()];
+        for m in &self.maps {
+            for (k, info) in m.query_batch(&sorted).into_iter().enumerate() {
+                let i = order[k];
+                match info {
+                    SizeInfo::Exact(sz) => exact[i].push((m.block(), sz)),
+                    SizeInfo::Approximate => {
+                        bloom[i].push(m.block());
+                        delta[i] = delta[i].min(m.bloom_delta_hint());
+                    }
+                    SizeInfo::Absent => {}
+                }
+            }
+        }
+        let mut views = Vec::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            views.push(SubDatasetView::new(
+                id,
+                std::mem::take(&mut exact[i]),
+                std::mem::take(&mut bloom[i]),
+                delta[i],
+            ));
+        }
+        views
     }
 
     /// Total measured meta-data bytes across all blocks.
@@ -171,6 +270,45 @@ impl ElasticMapArray {
             })
             .sum();
         1.0 - (est - raw as f64).abs() / raw as f64
+    }
+}
+
+// The symbol table is derived data (rebuildable from the maps), so the
+// serialized form stays exactly the PR 2 shape — `{maps, policy}` — and
+// old stores load without a migration: the table is re-interned on decode.
+impl Serialize for ElasticMapArray {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("maps".to_string(), self.maps.to_value()),
+            ("policy".to_string(), self.policy.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ElasticMapArray {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(DeError::expected("elastic map array object", v));
+        }
+        let maps = Vec::<ElasticMap>::from_value(
+            v.get("maps")
+                .ok_or_else(|| DeError::msg("elastic map array missing field `maps`"))?,
+        )?;
+        let policy = Separation::from_value(
+            v.get("policy")
+                .ok_or_else(|| DeError::msg("elastic map array missing field `policy`"))?,
+        )?;
+        let mut symbols = SymbolTable::new();
+        for m in &maps {
+            for (id, _) in m.exact_entries() {
+                symbols.intern(id);
+            }
+        }
+        Ok(Self {
+            maps,
+            policy,
+            symbols,
+        })
     }
 }
 
@@ -217,6 +355,36 @@ mod tests {
     }
 
     #[test]
+    fn sharded_build_is_byte_identical_to_sequential() {
+        let dfs = clustered_dfs();
+        let par = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        let seq = ElasticMapArray::build_sequential(&dfs, &Separation::Alpha(0.3));
+        assert_eq!(
+            serde_json::to_string(&par).unwrap(),
+            serde_json::to_string(&seq).unwrap()
+        );
+        assert_eq!(par.symbols(), seq.symbols());
+    }
+
+    #[test]
+    fn symbol_table_lists_exactly_the_dominant_ids() {
+        let dfs = clustered_dfs();
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        // Every exact entry's id is interned; bloom-only ids are not
+        // guaranteed to be (and an id exact in no block must not be).
+        for m in arr.maps() {
+            for (id, _) in m.exact_entries() {
+                assert!(arr.symbols().lookup(id).is_some(), "{id} missing");
+            }
+        }
+        assert!(arr.symbols().lookup(SubDatasetId(999_999)).is_none());
+        // Serde round-trip re-derives the same table.
+        let json = serde_json::to_string(&arr).unwrap();
+        let back: ElasticMapArray = serde_json::from_str(&json).unwrap();
+        assert_eq!(arr.symbols(), back.symbols());
+    }
+
+    #[test]
     fn view_partitions_blocks() {
         let dfs = clustered_dfs();
         let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
@@ -228,6 +396,28 @@ mod tests {
         }
         // Sub-dataset 7 exists: the view must see it somewhere.
         assert!(!v.exact().is_empty() || !v.bloom().is_empty());
+    }
+
+    #[test]
+    fn batched_views_match_single_views_bit_for_bit() {
+        let dfs = clustered_dfs();
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+        // Unsorted, with duplicates, with absent ids.
+        let ids: Vec<SubDatasetId> = [49u64, 7, 10, 999_999, 7, 25, 0]
+            .iter()
+            .map(|&i| SubDatasetId(i))
+            .collect();
+        let batch = arr.views(&ids);
+        assert_eq!(batch.len(), ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            let single = arr.view(id);
+            assert_eq!(
+                serde_json::to_string(&batch[i]).unwrap(),
+                serde_json::to_string(&single).unwrap(),
+                "view mismatch for {id}"
+            );
+        }
+        assert!(arr.views(&[]).is_empty());
     }
 
     #[test]
@@ -315,6 +505,10 @@ mod tests {
             .gauges
             .iter()
             .any(|g| g.name == "elasticmap_memory_bytes" && g.value > 0.0));
+        assert!(data
+            .gauges
+            .iter()
+            .any(|g| g.name == "symbol_table_len" && g.value > 0.0));
     }
 
     #[test]

@@ -42,8 +42,11 @@ use std::time::Duration;
 
 /// Current on-disk format version. Version 1 (no checksums, no summaries)
 /// is still readable: CRC verification is skipped and every shard loss is
-/// rung-3 (no sidecar to fall back to).
-pub const FORMAT_VERSION: u32 = 2;
+/// rung-3 (no sidecar to fall back to). Version 2 (flat bloom layout,
+/// hash-map exact sides) also loads unchanged — the per-structure serde
+/// keeps both shapes decodable. Version 3 writes cache-line-blocked bloom
+/// filters, which pre-3 readers would mis-probe, hence the bump.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Typed errors of the metadata store.
 #[derive(Debug)]
@@ -767,6 +770,51 @@ impl MetaStore {
         Ok(SubDatasetView::new(s, exact, bloom, delta_hint))
     }
 
+    /// Batched [`MetaStore::view`]: one view per input id, in input order,
+    /// bit-identical to N single `view` calls — but each shard is decoded
+    /// (or fetched from cache) **once** for the whole batch instead of once
+    /// per id, and the per-block exact sides are merge-joined against the
+    /// sorted probe list ([`ElasticMap::query_batch`]). This is the path
+    /// scheduling-time multi-query workloads should use.
+    ///
+    /// # Errors
+    /// Shard read failures (after retry/failover).
+    pub fn views(&mut self, ids: &[SubDatasetId]) -> Result<Vec<SubDatasetView>, StoreError> {
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_by_key(|&i| ids[i]);
+        let sorted: Vec<SubDatasetId> = order.iter().map(|&i| ids[i]).collect();
+        let mut exact: Vec<Vec<(BlockId, u64)>> = vec![Vec::new(); ids.len()];
+        let mut bloom: Vec<Vec<BlockId>> = vec![Vec::new(); ids.len()];
+        let mut delta: Vec<u64> = vec![u64::MAX; ids.len()];
+        for i in 0..self.manifest.shard_count() {
+            for m in self.shard(i)? {
+                for (k, info) in m.query_batch(&sorted).into_iter().enumerate() {
+                    let at = order[k];
+                    match info {
+                        SizeInfo::Exact(sz) => exact[at].push((m.block(), sz)),
+                        SizeInfo::Approximate => {
+                            bloom[at].push(m.block());
+                            delta[at] = delta[at].min(m.bloom_delta_hint());
+                        }
+                        SizeInfo::Absent => {}
+                    }
+                }
+            }
+        }
+        Ok(ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                SubDatasetView::new(
+                    id,
+                    std::mem::take(&mut exact[i]),
+                    std::mem::take(&mut bloom[i]),
+                    delta[i],
+                )
+            })
+            .collect())
+    }
+
     /// Assemble a sub-dataset view under metadata failures — the degradation
     /// ladder's read path. Never fails: per shard it tries the full copy
     /// (rung 1/2), then the bloom-only summary (rung 2), and finally gives
@@ -815,6 +863,78 @@ impl MetaStore {
             unknown,
             sources,
         )
+    }
+
+    /// Batched [`MetaStore::view_degraded`]: one degraded view per input
+    /// id, in input order, element-wise identical to N single calls made
+    /// against the same shard health. Shard/summary decode attempts happen
+    /// once per shard for the whole batch (so the rung bookkeeping — and
+    /// any repair-triggering side effects — fire once, not once per id).
+    pub fn views_degraded(&mut self, ids: &[SubDatasetId]) -> Vec<DegradedView> {
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_by_key(|&i| ids[i]);
+        let sorted: Vec<SubDatasetId> = order.iter().map(|&i| ids[i]).collect();
+        let mut exact: Vec<Vec<(BlockId, u64)>> = vec![Vec::new(); ids.len()];
+        let mut bloom: Vec<Vec<BlockId>> = vec![Vec::new(); ids.len()];
+        let mut delta: Vec<u64> = vec![u64::MAX; ids.len()];
+        // Shard health is id-independent: one source row and one unknown
+        // pool shared by every view in the batch.
+        let mut unknown = Vec::new();
+        let mut sources = Vec::new();
+        for i in 0..self.manifest.shard_count() {
+            match self.shard(i) {
+                Ok(maps) => {
+                    for m in maps {
+                        for (k, info) in m.query_batch(&sorted).into_iter().enumerate() {
+                            let at = order[k];
+                            match info {
+                                SizeInfo::Exact(sz) => exact[at].push((m.block(), sz)),
+                                SizeInfo::Approximate => {
+                                    bloom[at].push(m.block());
+                                    delta[at] = delta[at].min(m.bloom_delta_hint());
+                                }
+                                SizeInfo::Absent => {}
+                            }
+                        }
+                    }
+                    sources.push(ShardSource::Full);
+                }
+                Err(_) => match self.summary(i) {
+                    Ok(sums) => {
+                        for sum in &sums {
+                            for (k, &s) in sorted.iter().enumerate() {
+                                if sum.contains(s) {
+                                    let at = order[k];
+                                    bloom[at].push(sum.block());
+                                    delta[at] = delta[at].min(sum.delta());
+                                }
+                            }
+                        }
+                        sources.push(ShardSource::Summary);
+                    }
+                    Err(_) => {
+                        let (start, end) = self.shard_span(i);
+                        unknown.extend((start..end).map(|b| BlockId(b as u32)));
+                        sources.push(ShardSource::Lost);
+                    }
+                },
+            }
+        }
+        ids.iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                DegradedView::new(
+                    SubDatasetView::new(
+                        id,
+                        std::mem::take(&mut exact[i]),
+                        std::mem::take(&mut bloom[i]),
+                        delta[i],
+                    ),
+                    unknown.clone(),
+                    sources.clone(),
+                )
+            })
+            .collect()
     }
 
     /// Background scrub: verify every copy of every shard and summary,
@@ -1004,6 +1124,32 @@ mod tests {
                 store.view(SubDatasetId(s)).unwrap(),
                 arr.view(SubDatasetId(s))
             );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_views_match_single_views() {
+        let (_dfs, arr) = sample_array();
+        let dir = tmpdir("batchviews");
+        MetaStore::save(&arr, &dir, 7).unwrap();
+        let mut store = MetaStore::open(&dir, 2).unwrap();
+        // Unsorted, duplicated, and absent ids all answer identically.
+        let ids: Vec<SubDatasetId> = [31u64, 2, 999, 2, 0, 49]
+            .iter()
+            .map(|&i| SubDatasetId(i))
+            .collect();
+        let batch = store.views(&ids).unwrap();
+        assert_eq!(batch.len(), ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(batch[i], store.view(id).unwrap(), "view mismatch for {id}");
+        }
+        assert!(store.views(&[]).unwrap().is_empty());
+        let degraded = store.views_degraded(&ids);
+        for (i, &id) in ids.iter().enumerate() {
+            let single = store.view_degraded(id);
+            assert_eq!(degraded[i].view(), single.view());
+            assert_eq!(degraded[i].rung_counts(), single.rung_counts());
         }
         fs::remove_dir_all(&dir).unwrap();
     }

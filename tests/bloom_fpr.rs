@@ -1,0 +1,106 @@
+//! Property tests for the cache-line-blocked Bloom filter: the blocked
+//! layout trades one cache miss per probe for a slightly less uniform bit
+//! spread, and these tests pin down how much accuracy that may cost —
+//! the measured false-positive rate must stay within 2× of the design
+//! rate across sizes and seeds, and membership must be completely
+//! insensitive to insert order.
+
+use datanet::BloomFilter;
+use datanet_dfs::SubDatasetId;
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x >> 12;
+    *x ^= *x << 25;
+    *x ^= *x >> 27;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Distinct member ids derived from `seed`, disjoint by construction from
+/// the probe range used below.
+fn members(n: usize, seed: u64) -> Vec<SubDatasetId> {
+    // Even ids are members, odd ids are probes: never a false "false
+    // positive" caused by accidentally probing a member.
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut out = std::collections::BTreeSet::new();
+    while out.len() < n {
+        out.insert(xorshift(&mut x) & !1);
+    }
+    out.into_iter().map(SubDatasetId).collect()
+}
+
+#[test]
+fn measured_fpr_stays_within_2x_of_design_rate() {
+    // (expected items, design rate, seed) across two orders of magnitude.
+    let cases = [
+        (64usize, 0.01f64, 1u64),
+        (256, 0.01, 2),
+        (512, 0.02, 3),
+        (1024, 0.01, 4),
+        (4096, 0.05, 5),
+        (16384, 0.01, 6),
+    ];
+    for (n, rate, seed) in cases {
+        let mut bloom = BloomFilter::with_rate(n, rate);
+        for &id in &members(n, seed) {
+            bloom.insert(id);
+        }
+        let probes = 200_000u64;
+        let mut x = seed.wrapping_mul(0xD1B5_4A32_D192_ED03) | 1;
+        let mut false_positives = 0u64;
+        for _ in 0..probes {
+            let probe = xorshift(&mut x) | 1; // odd: never a member
+            if bloom.contains(SubDatasetId(probe)) {
+                false_positives += 1;
+            }
+        }
+        let measured = false_positives as f64 / probes as f64;
+        assert!(
+            measured <= 2.0 * rate,
+            "n={n} rate={rate}: measured FPR {measured:.4} above 2x design rate"
+        );
+    }
+}
+
+#[test]
+fn members_are_never_reported_absent() {
+    for (n, rate, seed) in [(256usize, 0.01f64, 10u64), (4096, 0.02, 11)] {
+        let ids = members(n, seed);
+        let mut bloom = BloomFilter::with_rate(n, rate);
+        for &id in &ids {
+            bloom.insert(id);
+        }
+        for &id in &ids {
+            assert!(bloom.contains(id), "member {id} reported absent");
+        }
+    }
+}
+
+#[test]
+fn membership_is_stable_across_rebuilds_in_any_insert_order() {
+    for (n, rate, seed) in [(512usize, 0.01f64, 20u64), (2048, 0.02, 21)] {
+        let ids = members(n, seed);
+        let mut forward = BloomFilter::with_rate(n, rate);
+        for &id in &ids {
+            forward.insert(id);
+        }
+        // Reverse order, and a deterministic shuffle.
+        let mut backward = BloomFilter::with_rate(n, rate);
+        for &id in ids.iter().rev() {
+            backward.insert(id);
+        }
+        let mut shuffled = ids.clone();
+        let mut x = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            let j = (xorshift(&mut x) % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut scrambled = BloomFilter::with_rate(n, rate);
+        for &id in &shuffled {
+            scrambled.insert(id);
+        }
+        // Idempotent OR writes: the filters are *equal*, not merely
+        // answer-equivalent, so every future probe agrees too.
+        assert_eq!(forward, backward, "n={n}: insert order changed the bits");
+        assert_eq!(forward, scrambled, "n={n}: shuffle changed the bits");
+    }
+}

@@ -1,0 +1,151 @@
+//! Golden back-compat: a `MetaStore` written *before* this release's
+//! metadata changes (format version 2: flat Bloom layout, string-keyed
+//! exact maps, pre-interning) must still open, scrub, and answer every
+//! query identically.
+//!
+//! The fixture at `tests/fixtures/meta_v2/` holds two frozen replica
+//! directories plus `expected_views.json` — every sub-dataset view the
+//! writing code answered at fixture-creation time. If this test fails,
+//! the reader broke an on-disk compatibility promise.
+
+use datanet::MetaStore;
+use datanet_dfs::{BlockId, SubDatasetId};
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/meta_v2")
+}
+
+/// Copy the fixture into a scratch directory so tests can corrupt files
+/// without touching the committed golden copy.
+fn copy_fixture(name: &str) -> PathBuf {
+    let dst = std::env::temp_dir().join(format!("datanet-compat-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    for replica in ["r0", "r1"] {
+        let to = dst.join(replica);
+        std::fs::create_dir_all(&to).expect("mkdir");
+        let from = fixture_dir().join(replica);
+        for entry in std::fs::read_dir(&from).expect("fixture present") {
+            let entry = entry.expect("dirent");
+            std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy");
+        }
+    }
+    dst
+}
+
+fn val_u64(v: &Value) -> u64 {
+    match v {
+        Value::U64(n) => *n,
+        Value::I64(n) if *n >= 0 => *n as u64,
+        Value::F64(f) if *f >= 0.0 => *f as u64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn field<'a>(obj: &'a Value, name: &str) -> &'a Value {
+    obj.get(name)
+        .unwrap_or_else(|| panic!("missing field `{name}`"))
+}
+
+/// The recorded views, as `(id, exact pairs, bloom blocks, delta)`.
+#[allow(clippy::type_complexity)]
+fn expected_views() -> Vec<(u64, Vec<(BlockId, u64)>, Vec<BlockId>, u64)> {
+    let raw = std::fs::read(fixture_dir().join("expected_views.json")).expect("golden views");
+    let doc = serde_json::parse_value(&raw).expect("golden views parse");
+    let Value::Array(items) = &doc else {
+        panic!("expected_views.json: not an array");
+    };
+    items
+        .iter()
+        .map(|item| {
+            let id = val_u64(field(item, "id"));
+            let Value::Array(exact) = field(item, "exact") else {
+                panic!("exact: not an array");
+            };
+            let exact = exact
+                .iter()
+                .map(|pair| {
+                    let Value::Array(pair) = pair else {
+                        panic!("exact entry: not a pair");
+                    };
+                    (BlockId(val_u64(&pair[0]) as u32), val_u64(&pair[1]))
+                })
+                .collect();
+            let Value::Array(bloom) = field(item, "bloom") else {
+                panic!("bloom: not an array");
+            };
+            let bloom = bloom.iter().map(|b| BlockId(val_u64(b) as u32)).collect();
+            (id, exact, bloom, val_u64(field(item, "delta")))
+        })
+        .collect()
+}
+
+fn assert_views_match(store: &mut MetaStore, context: &str) {
+    let golden = expected_views();
+    assert!(golden.len() >= 100, "golden corpus suspiciously small");
+    for (id, exact, bloom, delta) in &golden {
+        let view = store
+            .view(SubDatasetId(*id))
+            .unwrap_or_else(|e| panic!("{context}: view s{id} failed: {e}"));
+        assert_eq!(view.exact(), exact.as_slice(), "{context}: s{id} exact");
+        assert_eq!(view.bloom(), bloom.as_slice(), "{context}: s{id} bloom");
+        assert_eq!(view.delta(), *delta, "{context}: s{id} delta");
+    }
+}
+
+#[test]
+fn v2_manifest_opens_and_answers_every_golden_query() {
+    let dir = copy_fixture("open");
+    // The fixture really is the old format — guard against someone
+    // regenerating it with current code and silently weakening the test.
+    let manifest = std::fs::read(dir.join("r0/manifest.json")).expect("manifest");
+    let doc = serde_json::parse_value(&manifest).expect("manifest parse");
+    assert_eq!(val_u64(field(&doc, "version")), 2, "fixture must stay v2");
+
+    let replicas = [dir.join("r0"), dir.join("r1")];
+    let refs: Vec<&Path> = replicas.iter().map(|p| p.as_path()).collect();
+    let mut store = MetaStore::open_replicated(&refs, 2).expect("v2 store must open");
+    assert_views_match(&mut store, "fresh open");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v2_store_scrubs_and_heals_then_answers_identically() {
+    let dir = copy_fixture("scrub");
+    // Rot a shard on the primary; the second replica must heal it.
+    std::fs::write(dir.join("r0/shard-0002.json"), b"bit rot").expect("corrupt");
+
+    let replicas = [dir.join("r0"), dir.join("r1")];
+    let refs: Vec<&Path> = replicas.iter().map(|p| p.as_path()).collect();
+    let mut store = MetaStore::open_replicated(&refs, 2).expect("open with rot");
+    let report = store.scrub();
+    assert_eq!(report.repaired, 1, "one shard copy repaired");
+    assert!(report.quarantined.is_empty(), "nothing quarantined");
+    assert_views_match(&mut store, "after scrub");
+
+    // The healed primary now stands alone.
+    let mut solo = MetaStore::open_replicated(&[replicas[0].as_path()], 2).expect("healed primary");
+    assert_views_match(&mut solo, "healed primary alone");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v2_batched_views_match_the_golden_singles() {
+    // The new batched query path must agree with the recorded
+    // single-query answers on old-format data too.
+    let dir = copy_fixture("batch");
+    let replicas = [dir.join("r0"), dir.join("r1")];
+    let refs: Vec<&Path> = replicas.iter().map(|p| p.as_path()).collect();
+    let mut store = MetaStore::open_replicated(&refs, 2).expect("open");
+    let golden = expected_views();
+    let ids: Vec<SubDatasetId> = golden.iter().map(|(id, ..)| SubDatasetId(*id)).collect();
+    let views = store.views(&ids).expect("batched views");
+    assert_eq!(views.len(), golden.len());
+    for (view, (id, exact, bloom, delta)) in views.iter().zip(&golden) {
+        assert_eq!(view.exact(), exact.as_slice(), "s{id} exact");
+        assert_eq!(view.bloom(), bloom.as_slice(), "s{id} bloom");
+        assert_eq!(view.delta(), *delta, "s{id} delta");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
