@@ -14,11 +14,13 @@
 //! meant to be.
 
 pub mod core;
+pub mod ingest;
 pub mod legacy;
 pub mod setup;
 pub mod table;
 
 pub use core::{run_core_bench, CoreBenchReport};
+pub use ingest::{run_ingest_bench, IngestBenchReport};
 pub use setup::{github_dataset, movie_dataset, MOVIE_BLOCKS, NODES};
 pub use table::Table;
 

@@ -8,7 +8,9 @@
 
 use crate::scenario::{Corruption, Scenario};
 use datanet::planner::{Algorithm1, Assignment, FordFulkersonPlanner};
-use datanet::{ElasticMapArray, MetaStore, Separation, SubDatasetView};
+use datanet::{
+    ElasticMapArray, IngestConfig, Ingestor, MetaStore, Separation, SizeInfo, SubDatasetView,
+};
 use datanet_analytics::word_count_profile;
 use datanet_dfs::{BlockId, Dfs, NodeId, SubDatasetId};
 use datanet_mapreduce::{
@@ -343,6 +345,9 @@ pub fn check_scenario_with(sc: &Scenario, opts: &CheckOptions) -> CheckOutcome {
 
     // ---- full pipeline twins + obs closure ---------------------------
     pipeline_oracles(&mut v, sc, &dfs, &view);
+
+    // ---- streaming ingest: incremental ≡ rebuild at every prefix -----
+    ingest_oracles(&mut v, sc, &dfs, &sep);
 
     CheckOutcome {
         violations: v,
@@ -811,6 +816,247 @@ fn pipeline_oracles(v: &mut Vec<Violation>, sc: &Scenario, dfs: &Dfs, view: &Sub
             v.push(Violation::new(
                 "crash-chain",
                 format!("node {} crashed but was never suspected", chain.node),
+            ));
+        }
+    }
+}
+
+/// Streaming-ingest oracles: replay the scenario's blocks as a stream
+/// through an [`Ingestor`] on the arrival schedule in `sc.ingest`, and
+/// enforce, at **every** prefix of the arrival sequence, that the
+/// incremental snapshot is byte-identical (serialized) to a from-scratch
+/// batch build over the same blocks — including across the scripted
+/// mid-commit crash (`crash_commit`/`crash_write`), which tears the
+/// ingestor down after an arbitrary write prefix of the commit plan and
+/// resumes from whatever epoch stayed durable.
+fn ingest_oracles(v: &mut Vec<Violation>, sc: &Scenario, dfs: &Dfs, sep: &Separation) {
+    let cfg = IngestConfig {
+        policy: sep.clone(),
+        compact_every: sc.ingest.compact_every,
+        shard_blocks: sc.shard_blocks,
+    };
+    let target = sc.target_id();
+    let dirs = ReplicaDirs::new(2);
+    let mut ing = Ingestor::new(cfg.clone());
+    let mut live = Dfs::empty(dfs.config().clone());
+    // NameNode clone taken mid-stream: CoW registration on append must
+    // leave the clone frozen at the block count it saw.
+    let mut frozen: Option<(datanet_dfs::NameNode, usize)> = None;
+    // Epochs recorded from *successful* commits only, with the snapshot
+    // they froze — replayed through the store at the end.
+    let mut epochs: Vec<(u64, usize, String)> = Vec::new();
+    let mut commits = 0u64;
+    let mut crashed = false;
+    let mut equivalence_ok = true;
+
+    for (k, b) in dfs.blocks().iter().enumerate() {
+        let id = live.append_block(b.records().to_vec());
+        let blk = live.block(id);
+        ing.append(blk, k as u64 * sc.ingest.gap_us);
+        if frozen.is_none() {
+            frozen = Some((live.namenode().clone(), live.namenode().block_count()));
+        }
+
+        // Just-arrived block: exact answer while pending, never a false
+        // negative once sealed.
+        let truth_b = blk.subdataset_bytes(target);
+        match ing.query(id, target) {
+            SizeInfo::Exact(sz) if sz != truth_b => v.push(Violation::new(
+                "ingest-pending-exact",
+                format!("block {}: exact answer {sz}, truth {truth_b}", id.0),
+            )),
+            SizeInfo::Absent if truth_b > 0 => v.push(Violation::new(
+                "ingest-pending-exact",
+                format!(
+                    "block {}: holds {truth_b} target bytes but answers Absent",
+                    id.0
+                ),
+            )),
+            _ => {}
+        }
+
+        // Incremental ≡ rebuild at this prefix (first divergence only —
+        // later prefixes inherit the same corruption).
+        if equivalence_ok {
+            let inc = serde_json::to_string(&ing.snapshot()).expect("snapshot serialises");
+            let batch = serde_json::to_string(&ElasticMapArray::build(&live, sep))
+                .expect("batch serialises");
+            if inc != batch {
+                equivalence_ok = false;
+                v.push(Violation::new(
+                    "ingest-equivalence",
+                    format!(
+                        "incremental snapshot diverged from the batch build at \
+                         prefix {} of {}",
+                        k + 1,
+                        dfs.block_count()
+                    ),
+                ));
+            }
+        }
+
+        // Commit cadence: one durable epoch per compaction batch. The
+        // scripted crash hits the `crash_commit`-th attempt, landing only
+        // a prefix of the plan's writes before the process "dies".
+        if (k + 1) % sc.ingest.compact_every == 0 {
+            commits += 1;
+            if !crashed && sc.ingest.crash_commit == Some(commits) {
+                crashed = true;
+                let mut landed = 0usize;
+                if let Some(plan) = ing.commit_plan() {
+                    let n = (sc.ingest.crash_write % (plan.writes() as u64 + 1)) as usize;
+                    landed = n;
+                    if let Err(e) = plan.apply_prefix(&dirs.paths(), n) {
+                        v.push(Violation::new(
+                            "ingest-crash-resume",
+                            format!("prefix apply failed: {e}"),
+                        ));
+                        return;
+                    }
+                }
+                // Tear down and resume from whatever epoch is durable; a
+                // store with no manifest yet resumes as a fresh ingestor.
+                ing = match Ingestor::resume(cfg.clone(), &dirs.paths()) {
+                    Ok(resumed) => resumed,
+                    Err(_) => Ingestor::new(cfg.clone()),
+                };
+                if ing.stats().summaries_built != 0 {
+                    v.push(Violation::new(
+                        "ingest-crash-resume",
+                        "resume re-summarized durable blocks".to_string(),
+                    ));
+                }
+                // Re-feed the arrivals the crash swallowed.
+                for rb in &live.blocks()[ing.blocks()..] {
+                    ing.append(rb, k as u64 * sc.ingest.gap_us);
+                }
+                let inc = serde_json::to_string(&ing.snapshot()).expect("snapshot serialises");
+                let batch = serde_json::to_string(&ElasticMapArray::build(&live, sep))
+                    .expect("batch serialises");
+                if inc != batch {
+                    v.push(Violation::new(
+                        "ingest-crash-resume",
+                        format!(
+                            "resumed snapshot diverged from the batch build after a \
+                             crash {landed} writes into commit {commits}'s plan"
+                        ),
+                    ));
+                }
+            } else {
+                match ing.commit(&dirs.paths()) {
+                    Ok(epoch) => epochs.push((
+                        epoch,
+                        ing.blocks(),
+                        serde_json::to_string(&ing.snapshot()).expect("snapshot serialises"),
+                    )),
+                    Err(e) => v.push(Violation::new(
+                        "ingest-commit",
+                        format!("commit {commits} failed: {e}"),
+                    )),
+                }
+            }
+        }
+    }
+
+    // Final commit so the whole stream is durable.
+    match ing.commit(&dirs.paths()) {
+        Ok(epoch) => epochs.push((
+            epoch,
+            ing.blocks(),
+            serde_json::to_string(&ing.snapshot()).expect("snapshot serialises"),
+        )),
+        Err(e) => v.push(Violation::new(
+            "ingest-commit",
+            format!("final commit failed: {e}"),
+        )),
+    }
+    epochs.dedup_by_key(|(e, _, _)| *e);
+
+    // Every committed epoch replays exactly the snapshot it froze.
+    for (epoch, blocks, want) in &epochs {
+        match MetaStore::open_replicated_at_epoch(&dirs.paths(), *epoch, 2) {
+            Ok(mut store) => {
+                if store.manifest().blocks != *blocks {
+                    v.push(Violation::new(
+                        "epoch-time-travel",
+                        format!(
+                            "epoch {epoch} manifest says {} blocks, committed {blocks}",
+                            store.manifest().blocks
+                        ),
+                    ));
+                    continue;
+                }
+                let mut maps = Vec::new();
+                let mut ok = true;
+                for i in 0..store.manifest().shard_count() {
+                    match store.shard(i) {
+                        Ok(s) => maps.extend_from_slice(s),
+                        Err(e) => {
+                            v.push(Violation::new(
+                                "epoch-time-travel",
+                                format!("epoch {epoch} shard {i} unreadable: {e}"),
+                            ));
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    let arr = ElasticMapArray::from_maps(maps, store.manifest().policy.clone());
+                    if &serde_json::to_string(&arr).expect("array serialises") != want {
+                        v.push(Violation::new(
+                            "epoch-time-travel",
+                            format!("epoch {epoch} does not replay the snapshot it froze"),
+                        ));
+                    }
+                }
+            }
+            Err(e) => v.push(Violation::new(
+                "epoch-time-travel",
+                format!("epoch {epoch} failed to open: {e}"),
+            )),
+        }
+    }
+
+    // The live store agrees with the in-memory ingestor on the target view.
+    match MetaStore::open_replicated(&dirs.paths(), 2) {
+        Ok(mut store) => match store.view(target) {
+            Ok(view) if view == ing.snapshot().view(target) => {}
+            Ok(_) => v.push(Violation::new(
+                "ingest-store-view",
+                "final persisted view differs from the ingestor's snapshot".to_string(),
+            )),
+            Err(e) => v.push(Violation::new(
+                "ingest-store-view",
+                format!("final view failed: {e}"),
+            )),
+        },
+        Err(e) => v.push(Violation::new(
+            "ingest-store-view",
+            format!("final open failed: {e}"),
+        )),
+    }
+
+    // CoW: the namenode clone taken after the first arrival never saw the
+    // later registrations.
+    if let Some((nn, count)) = frozen {
+        if nn.block_count() != count {
+            v.push(Violation::new(
+                "namenode-cow-append",
+                format!(
+                    "mid-stream namenode clone drifted from {count} to {} blocks",
+                    nn.block_count()
+                ),
+            ));
+        }
+        if live.namenode().block_count() != live.block_count() {
+            v.push(Violation::new(
+                "namenode-cow-append",
+                format!(
+                    "live namenode tracks {} blocks for a {}-block DFS",
+                    live.namenode().block_count(),
+                    live.block_count()
+                ),
             ));
         }
     }

@@ -18,7 +18,12 @@
 //!   makespan ordering FF ≤ greedy ≤ locality (with a documented
 //!   task-overhead tolerance);
 //! * **traced twins** — every `*_traced` run is bit-identical to its
-//!   untraced twin, and no observability span is left unclosed.
+//!   untraced twin, and no observability span is left unclosed;
+//! * **streaming ingest** — replaying the world's blocks as a stream
+//!   through [`datanet::Ingestor`] yields a snapshot byte-identical to a
+//!   from-scratch rebuild at every arrival prefix, including across a
+//!   scripted mid-commit crash (resume from the last durable epoch), and
+//!   every committed epoch time-travels to exactly the snapshot it froze.
 //!
 //! On a violation, [`shrink`] reduces the failing scenario to a minimal
 //! repro (fewer records, nodes, fault events, less corruption) that still
@@ -36,7 +41,7 @@ pub mod shrink;
 
 pub use harness::{check_scenario, check_scenario_with, CheckOptions, CheckOutcome, Violation};
 pub use repro::Repro;
-pub use scenario::{Corruption, CrashEvent, NicEvent, Scenario, SlowEvent};
+pub use scenario::{Corruption, CrashEvent, IngestPlan, NicEvent, Scenario, SlowEvent};
 pub use shrink::{shrink, Shrunk};
 
 /// Expand `seed` into its scenario and check every invariant oracle.

@@ -62,6 +62,22 @@ pub enum Corruption {
     Total { stride: usize },
 }
 
+/// Streaming-ingest schedule: how the scenario's blocks arrive over the
+/// simulated clock, how often the ingestor compacts, and where a
+/// mid-commit crash (if any) hits the write plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestPlan {
+    /// Compact after this many contiguous arrivals.
+    pub compact_every: usize,
+    /// Simulated microseconds between block arrivals.
+    pub gap_us: u64,
+    /// Crash during the n-th commit (1-based); `None` for a clean stream.
+    pub crash_commit: Option<u64>,
+    /// Raw draw selecting how many of the interrupted commit's plan writes
+    /// land before the crash (the harness takes it modulo plan length + 1).
+    pub crash_write: u64,
+}
+
 /// One fully-expanded simulated world.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -100,6 +116,8 @@ pub struct Scenario {
     pub detection: bool,
     /// Re-execution budget per block.
     pub max_retries: u32,
+    /// Streaming-ingest arrival schedule and mid-commit crash point.
+    pub ingest: IngestPlan,
 }
 
 impl Scenario {
@@ -160,8 +178,25 @@ impl Scenario {
             },
         };
 
+        // The two in-literal draws below predate the ingest axis; they are
+        // pulled out in their original order so every new draw appends to
+        // the END of the seed stream — existing seeds (the whole corpus)
+        // expand to exactly the world they always did.
+        let dataset_seed = rng.gen();
+        let detection = rng.gen_bool(0.4);
+        let ingest = IngestPlan {
+            compact_every: rng.gen_range(1usize..6),
+            gap_us: rng.gen_range(500u64..5_000),
+            crash_commit: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(1u64..4))
+            } else {
+                None
+            },
+            crash_write: rng.gen(),
+        };
+
         Self {
-            seed: rng.gen(),
+            seed: dataset_seed,
             subdatasets,
             zipf_exponent,
             records,
@@ -175,8 +210,9 @@ impl Scenario {
             slow,
             nic,
             corruption,
-            detection: rng.gen_bool(0.4),
+            detection,
             max_retries: 3,
+            ingest,
         }
     }
 
@@ -275,6 +311,11 @@ mod tests {
             }
             for n in &sc.nic {
                 assert!(n.node < sc.nodes as usize && n.fraction > 0.0 && n.fraction <= 1.0);
+            }
+            assert!(sc.ingest.compact_every >= 1);
+            assert!(sc.ingest.gap_us > 0);
+            if let Some(c) = sc.ingest.crash_commit {
+                assert!(c >= 1);
             }
         }
     }

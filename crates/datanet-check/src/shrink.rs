@@ -141,6 +141,19 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // Simpler ingest: drop the mid-commit crash, then compact per arrival
+    // (the smallest commit plans, so the crash point is easiest to read).
+    if sc.ingest.crash_commit.is_some() {
+        let mut c = sc.clone();
+        c.ingest.crash_commit = None;
+        push(c);
+    }
+    if sc.ingest.compact_every > 1 {
+        let mut c = sc.clone();
+        c.ingest.compact_every = 1;
+        push(c);
+    }
+
     out
 }
 

@@ -4,7 +4,8 @@
 use crate::args::{ArgError, Args};
 use crate::dataset::DatasetFile;
 use datanet::{
-    Algorithm1, ElasticMapArray, FordFulkersonPlanner, MetaStore, Separation, StoreError,
+    Algorithm1, ElasticMapArray, FordFulkersonPlanner, IngestConfig, Ingestor, MetaStore,
+    Separation, StoreError,
 };
 use datanet_analytics::profiles::{
     histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
@@ -73,7 +74,10 @@ USAGE:
               [--records N] [--nodes N] [--block-kb N] [--seed N]
   datanet scan --dataset FILE --meta DIR[,DIR...] [--alpha F] [--shard-blocks N]
               [--trace OUT.json]
-  datanet query --dataset FILE --meta DIR[,DIR...] --subdataset ID [--trace OUT.json]
+  datanet ingest --dataset FILE --meta DIR[,DIR...] [--alpha F] [--shard-blocks N]
+              [--compact-every N] [--commit-every N] [--resume] [--trace OUT.json]
+  datanet query --dataset FILE --meta DIR[,DIR...] --subdataset ID [--epoch N]
+              [--trace OUT.json]
   datanet plan --dataset FILE --meta DIR[,DIR...] --subdataset ID [--planner alg1|maxflow]
               [--trace OUT.json]
   datanet scrub --meta DIR[,DIR...]
@@ -103,6 +107,14 @@ batched queries, planner) on the paper's 256-block workload, comparing
 against frozen pre-optimization reference implementations. `--json`
 writes the machine-readable report; `--baseline FILE` gates the measured
 speedups against a committed baseline and fails on regression.
+
+`datanet ingest` streams the dataset's blocks through the incremental
+ingestor instead of a batch scan: per-block summaries at write time,
+compaction every `--compact-every` arrivals, a durable epoch committed
+every `--commit-every` blocks. `--resume` reopens an existing store and
+continues from its last durable epoch (policy and shard size come from
+the manifest). `datanet query --epoch N` answers from the frozen
+epoch-N snapshot instead of the live manifest.
 ";
 
 /// Dispatch a command line (tokens exclude the program name).
@@ -114,6 +126,7 @@ pub fn dispatch(tokens: Vec<String>, out: &mut dyn Write) -> Result<(), CliError
     match args.positional(0) {
         Some("gen") => cmd_gen(&args, out),
         Some("scan") => cmd_scan(&args, out),
+        Some("ingest") => cmd_ingest(&args, out),
         Some("query") => cmd_query(&args, out),
         Some("plan") => cmd_plan(&args, out),
         Some("scrub") => cmd_scrub(&args, out),
@@ -291,9 +304,78 @@ fn cmd_scrub(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `datanet ingest` — stream the dataset's blocks through the incremental
+/// [`Ingestor`] instead of a batch scan, committing durable epoch-stamped
+/// snapshots along the way.
+fn cmd_ingest(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
+    let alpha: f64 = args.get_or("alpha", 0.3)?;
+    let shard_blocks: usize = args.get_or("shard-blocks", 64)?;
+    let compact_every: usize = args.get_or("compact-every", 64)?;
+    let commit_every: usize = args.get_or("commit-every", compact_every.max(1))?;
+    if compact_every == 0 || commit_every == 0 {
+        return Err(ArgError("--compact-every/--commit-every must be positive".into()).into());
+    }
+    let dirs = meta_dirs(args)?;
+    let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+    let cfg = IngestConfig {
+        policy: Separation::Alpha(alpha),
+        compact_every,
+        shard_blocks,
+    };
+    let (rec, trace) = recorder(args);
+    let dfs = ds.to_dfs();
+    let mut ing = if args.flag("resume") {
+        Ingestor::resume(cfg, &refs)?
+    } else {
+        Ingestor::new(cfg)
+    };
+    ing.set_recorder(rec.clone());
+    let start = ing.blocks();
+    for (k, b) in dfs.blocks().iter().enumerate().skip(start) {
+        ing.append(b, k as u64 * 1_000);
+        if (k + 1) % commit_every == 0 {
+            ing.commit(&refs)?;
+        }
+    }
+    let epoch = ing.commit(&refs)?;
+    let st = ing.stats();
+    writeln!(
+        out,
+        "ingested {} blocks ({} records, {} bytes) into {} replica(s){}",
+        st.appended_blocks,
+        st.appended_records,
+        st.appended_bytes,
+        dirs.len(),
+        if st.resumed_blocks > 0 {
+            format!(" after resuming {} durable blocks", st.resumed_blocks)
+        } else {
+            String::new()
+        }
+    )?;
+    writeln!(
+        out,
+        "  {} compaction(s), {} re-dominance demotion(s), {} epoch(s) committed \
+         — durable epoch {epoch}; time-travel with `datanet query --epoch E`",
+        st.compactions, st.redominated, st.epochs_committed
+    )?;
+    if let Some(path) = trace {
+        write_trace(&rec, &path, out)?;
+    }
+    Ok(())
+}
+
 fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
-    let mut store = open_store(args, 4)?;
+    let mut store = match args.get("epoch") {
+        None => open_store(args, 4)?,
+        Some(e) => {
+            let epoch: u64 = e.parse().map_err(|e| ArgError(format!("--epoch: {e}")))?;
+            let dirs = meta_dirs(args)?;
+            let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+            MetaStore::open_replicated_at_epoch(&refs, epoch, 4)?
+        }
+    };
     let (rec, trace) = recorder(args);
     store.set_recorder(rec.clone());
     let id: u64 = args
@@ -303,9 +385,13 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let s = SubDatasetId(id);
     let view = store.view(s)?;
     let dfs = ds.to_dfs();
+    let label = match args.get("epoch") {
+        Some(e) => format!("sub-dataset {s} @ epoch {e}"),
+        None => format!("sub-dataset {s}"),
+    };
     writeln!(
         out,
-        "sub-dataset {s}: {} blocks ({} exact + {} bloom), estimated {} bytes, \
+        "{label}: {} blocks ({} exact + {} bloom), estimated {} bytes, \
          actual {} bytes, delta = {}",
         view.block_count(),
         view.exact().len(),
@@ -460,6 +546,9 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         for v in &outcome.violations {
             writeln!(out, "  {v}")?;
         }
+        let mut oracles: Vec<String> = outcome.oracle_names().into_iter().collect();
+        oracles.sort();
+        writeln!(out, "violated oracle set: {}", oracles.join(", "))?;
         return Err(CliError::Check(format!(
             "{} violation(s) replaying {path}",
             outcome.violations.len()
@@ -911,6 +1000,76 @@ mod tests {
         .unwrap();
         let err = run(&format!("check --repro {path}")).unwrap_err();
         assert!(matches!(err, CliError::Check(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ingest_streams_commits_epochs_and_time_travels() {
+        let ds = tmp("ing-ds.json");
+        let meta = tmp("ing-meta");
+        let _ = std::fs::remove_dir_all(&meta);
+        run(&format!(
+            "gen movies --records 20000 --nodes 8 --block-kb 64 --out {ds}"
+        ))
+        .unwrap();
+
+        let s = run(&format!(
+            "ingest --dataset {ds} --meta {meta} --shard-blocks 8 \
+             --compact-every 4 --commit-every 8"
+        ))
+        .unwrap();
+        assert!(s.contains("epoch(s) committed"), "{s}");
+        assert!(!s.contains("after resuming"), "{s}");
+
+        // The live store answers, and epoch 1 time-travels to the first
+        // committed snapshot.
+        let s = run(&format!(
+            "query --dataset {ds} --meta {meta} --subdataset 0"
+        ))
+        .unwrap();
+        assert!(s.contains("sub-dataset s0"), "{s}");
+        let s = run(&format!(
+            "query --dataset {ds} --meta {meta} --subdataset 0 --epoch 1"
+        ))
+        .unwrap();
+        assert!(s.contains("@ epoch 1"), "{s}");
+
+        // Resuming with nothing new appends nothing and keeps the epoch.
+        let s = run(&format!("ingest --dataset {ds} --meta {meta} --resume")).unwrap();
+        assert!(s.contains("ingested 0 blocks"), "{s}");
+        assert!(s.contains("after resuming"), "{s}");
+
+        let _ = std::fs::remove_file(&ds);
+        let _ = std::fs::remove_dir_all(&meta);
+    }
+
+    #[test]
+    fn repro_replay_prints_the_violated_oracle_set() {
+        use datanet_check::{shrink, CheckOptions, Repro, Scenario};
+        let opts = CheckOptions { credit_skew: 1 };
+        let min = shrink(&Scenario::from_seed(5), &opts).expect("planted bug fails");
+        let path = tmp("repro-oracles.json");
+        Repro {
+            original_seed: 5,
+            scenario: min.scenario,
+            options: opts,
+            violations: min.outcome.violations,
+        }
+        .save(Path::new(&path))
+        .unwrap();
+        let mut out = Vec::new();
+        let err = dispatch(
+            format!("check --repro {path}")
+                .split_whitespace()
+                .map(String::from)
+                .collect(),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Check(_)), "{err}");
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("violated oracle set: "), "{s}");
+        assert!(s.contains("greedy-conservation"), "{s}");
         let _ = std::fs::remove_file(&path);
     }
 

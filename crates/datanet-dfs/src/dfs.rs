@@ -117,6 +117,51 @@ impl Dfs {
         Self::write_dataset(config, records, &RandomPlacement)
     }
 
+    /// An empty DFS ready for streaming appends via [`Dfs::append_block`].
+    pub fn empty(config: DfsConfig) -> Self {
+        assert!(config.block_size > 0, "block size must be positive");
+        assert!(config.replication > 0, "replication must be positive");
+        let namenode = NameNode::new(config.topology.len());
+        Self {
+            config,
+            blocks: Vec::new(),
+            namenode,
+        }
+    }
+
+    /// Append one pre-chunked block of records with [`RandomPlacement`].
+    /// See [`Dfs::append_block_with`].
+    pub fn append_block(&mut self, records: Vec<Record>) -> BlockId {
+        self.append_block_with(records, &RandomPlacement)
+    }
+
+    /// Append one pre-chunked block: seal `records` as the next block, place
+    /// its replicas, and register it with the NameNode (a copy-on-write
+    /// update — handles cloned earlier keep seeing the shorter snapshot).
+    ///
+    /// Placement randomness is drawn from a per-block stream derived from
+    /// `config.seed` and the block id, so a block's replica locations do not
+    /// depend on how many appends preceded it — two ingest histories that
+    /// produce the same blocks produce the same placements.
+    ///
+    /// # Panics
+    /// Panics if `records` is empty (HDFS never seals an empty block).
+    pub fn append_block_with<P: PlacementPolicy>(
+        &mut self,
+        records: Vec<Record>,
+        policy: &P,
+    ) -> BlockId {
+        assert!(!records.is_empty(), "cannot append an empty block");
+        let id = BlockId(self.blocks.len() as u32);
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id.0 as u64 + 1),
+        );
+        let locations = policy.place(id, &self.config.topology, self.config.replication, &mut rng);
+        self.namenode.register(id, locations);
+        self.blocks.push(Block::new(id, records));
+        id
+    }
+
     /// The configuration.
     pub fn config(&self) -> &DfsConfig {
         &self.config
@@ -275,5 +320,52 @@ mod tests {
         let dfs = Dfs::write_random(tiny_config(100), Vec::new());
         assert_eq!(dfs.block_count(), 0);
         assert_eq!(dfs.total_bytes(), 0);
+    }
+
+    #[test]
+    fn append_block_registers_and_places() {
+        let mut dfs = Dfs::empty(tiny_config(300));
+        let a = dfs.append_block(records(3, 100));
+        let b = dfs.append_block(records(2, 100));
+        assert_eq!((a, b), (BlockId(0), BlockId(1)));
+        assert_eq!(dfs.block_count(), 2);
+        assert_eq!(dfs.namenode().block_count(), 2);
+        for id in [a, b] {
+            assert_eq!(dfs.replicas(id).len(), 3);
+        }
+        assert_eq!(dfs.total_bytes(), 500);
+    }
+
+    #[test]
+    fn append_placement_is_history_independent() {
+        // Block 1's replica locations are the same whether it arrives
+        // second or tenth — the per-block rng stream depends only on
+        // (config.seed, block id).
+        let mut short = Dfs::empty(tiny_config(300));
+        short.append_block(records(3, 100));
+        short.append_block(records(2, 100));
+        let mut long = Dfs::empty(tiny_config(300));
+        for _ in 0..1 {
+            long.append_block(records(3, 100));
+        }
+        long.append_block(records(2, 100));
+        assert_eq!(short.replicas(BlockId(1)), long.replicas(BlockId(1)));
+    }
+
+    #[test]
+    fn append_is_copy_on_write_for_namenode_clones() {
+        let mut dfs = Dfs::empty(tiny_config(300));
+        dfs.append_block(records(3, 100));
+        let snapshot = dfs.namenode().clone();
+        dfs.append_block(records(2, 100));
+        assert_eq!(snapshot.block_count(), 1, "old handle keeps old snapshot");
+        assert_eq!(dfs.namenode().block_count(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_empty_block_panics() {
+        let mut dfs = Dfs::empty(tiny_config(300));
+        dfs.append_block(Vec::new());
     }
 }

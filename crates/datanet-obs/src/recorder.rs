@@ -46,6 +46,11 @@ pub enum Category {
     Build,
     /// Engine phase envelope: selection, map, shuffle, reduce (sim clock).
     Phase,
+    /// Streaming-ingest block append: summary + delta-map build (sim clock).
+    Ingest,
+    /// Ingest compaction: folding pending deltas into the base array
+    /// (wall clock).
+    Compaction,
 }
 
 impl Category {
@@ -60,6 +65,8 @@ impl Category {
             Category::Detection => "detection",
             Category::Build => "build",
             Category::Phase => "phase",
+            Category::Ingest => "ingest",
+            Category::Compaction => "compaction",
         }
     }
 }

@@ -117,6 +117,21 @@ impl ElasticMap {
             let e = sizes.entry(r.subdataset).or_insert(0);
             *e = e.saturating_add(r.size as u64);
         }
+        Self::from_size_table(block.id(), sizes, policy, buckets)
+    }
+
+    /// Build from an already-accumulated per-sub-dataset size table — the
+    /// entry point the streaming ingestor uses to seal a write-time delta
+    /// map without re-touching the records. Output is independent of the
+    /// table's iteration order (the exact side is sorted, bloom insertion
+    /// is idempotent, and the minimum is order-free), so a sealed delta is
+    /// byte-identical to [`ElasticMap::build`] on the same block.
+    pub(crate) fn from_size_table(
+        block: BlockId,
+        sizes: crate::symbol::FastMap<SubDatasetId, u64>,
+        policy: &Separation,
+        buckets: Buckets,
+    ) -> Self {
         let counter = BucketCounter::from_sizes(buckets, sizes);
         let distinct = counter.distinct();
         let threshold = match policy {
@@ -148,7 +163,7 @@ impl ElasticMap {
         exact.sort_unstable_by_key(|&(id, _)| id);
         let (exact_ids, exact_sizes) = exact.into_iter().unzip();
         Self {
-            block: block.id(),
+            block,
             exact_ids,
             exact_sizes,
             bloom,

@@ -45,6 +45,7 @@ pub mod buckets;
 pub mod degrade;
 pub mod distribution;
 pub mod elasticmap;
+pub mod ingest;
 pub mod memory;
 pub mod planner;
 pub mod scan;
@@ -57,6 +58,7 @@ pub use buckets::{BucketCounter, Buckets};
 pub use degrade::{DegradedView, MetaHealth, Rung, RungCounts, ShardSource};
 pub use distribution::SubDatasetView;
 pub use elasticmap::{ElasticMap, Separation, SizeInfo};
+pub use ingest::{CommitPlan, IngestConfig, IngestStats, Ingestor};
 pub use memory::MemoryModel;
 pub use planner::{
     plan_aggregation, uniform_baseline_traffic, AggregationPlan, Algorithm1, Assignment,
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use crate::buckets::Buckets;
     pub use crate::distribution::SubDatasetView;
     pub use crate::elasticmap::{ElasticMap, Separation, SizeInfo};
+    pub use crate::ingest::{CommitPlan, IngestConfig, IngestStats, Ingestor};
     pub use crate::memory::MemoryModel;
     pub use crate::planner::{
         plan_aggregation, uniform_baseline_traffic, AggregationPlan, Algorithm1, Assignment,

@@ -21,7 +21,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Blocks per build shard. Small enough to load-balance across workers,
 /// large enough that the per-shard symbol tables amortise their merge.
-const SHARD_BLOCKS: usize = 16;
+pub(crate) const SHARD_BLOCKS: usize = 16;
 
 /// The DataNet meta-data structure over all blocks (the paper's Figure 3:
 /// an array with one ElasticMap pointer per block file).
@@ -116,6 +116,26 @@ impl ElasticMapArray {
             out.symbols.len() as f64,
         );
         out
+    }
+
+    /// Assemble an array from already-built per-block maps (block order).
+    /// The symbol table is re-interned from the maps' exact entries in
+    /// block-major first-appearance order, exactly as deserialization does,
+    /// so an array assembled from incrementally-sealed maps is
+    /// indistinguishable — bytes and symbols — from a from-scratch build
+    /// that produced the same maps.
+    pub fn from_maps(maps: Vec<ElasticMap>, policy: Separation) -> Self {
+        let mut symbols = SymbolTable::new();
+        for m in &maps {
+            for (id, _) in m.exact_entries() {
+                symbols.intern(id);
+            }
+        }
+        Self {
+            maps,
+            policy,
+            symbols,
+        }
     }
 
     /// Strictly sequential build (for benchmarking the sharded speedup).

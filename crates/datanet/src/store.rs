@@ -195,6 +195,16 @@ pub struct Manifest {
     pub shard_crc: Vec<u32>,
     /// CRC-32 of each `summary-NNNN.json` (empty for v1 stores).
     pub summary_crc: Vec<u32>,
+    /// Ingest epoch this manifest describes. Stores written by one-shot
+    /// [`MetaStore::save_replicated`] are epoch 0; streaming-ingest commits
+    /// bump it once per durable snapshot.
+    pub epoch: u64,
+    /// CRC-32 of the per-epoch tail shard (`epoch-NNNN.json`) holding the
+    /// blocks past the last complete shard; `None` when the block count is
+    /// an exact multiple of `shard_blocks` (every non-ingest store).
+    pub tail_crc: Option<u32>,
+    /// CRC-32 of the tail's summary sidecar (`epoch-NNNN-summary.json`).
+    pub tail_summary_crc: Option<u32>,
 }
 
 // Hand-written so that (a) a v1 manifest without checksum fields still
@@ -229,6 +239,14 @@ impl Deserialize for Manifest {
             version,
             shard_crc: crc_list("shard_crc")?,
             summary_crc: crc_list("summary_crc")?,
+            epoch: match v.get("epoch") {
+                None | Some(Value::Null) => 0,
+                Some(e) => u64::from_value(e)?,
+            },
+            tail_crc: Option::<u32>::from_value(v.get("tail_crc").unwrap_or(&Value::Null))?,
+            tail_summary_crc: Option::<u32>::from_value(
+                v.get("tail_summary_crc").unwrap_or(&Value::Null),
+            )?,
         })
     }
 }
@@ -239,14 +257,46 @@ impl Manifest {
         self.blocks.div_ceil(self.shard_blocks)
     }
 
+    /// Whether shard index `i` is the per-epoch tail file rather than a
+    /// complete `shard-NNNN.json` (streaming-ingest stores only).
+    fn is_tail(&self, i: usize) -> bool {
+        self.tail_crc.is_some() && i == self.blocks / self.shard_blocks
+    }
+
+    /// File holding the maps of shard `i` (the tail lives in its epoch file).
+    fn shard_file_name(&self, i: usize) -> String {
+        if self.is_tail(i) {
+            epoch_file(self.epoch)
+        } else {
+            shard_file(i)
+        }
+    }
+
+    /// File holding the summaries of shard `i`.
+    fn summary_file_name(&self, i: usize) -> String {
+        if self.is_tail(i) {
+            epoch_summary_file(self.epoch)
+        } else {
+            summary_file(i)
+        }
+    }
+
     /// Expected CRC of shard `i`, when the store records checksums.
     fn expected_shard_crc(&self, i: usize) -> Option<u32> {
-        self.shard_crc.get(i).copied()
+        if self.is_tail(i) {
+            self.tail_crc
+        } else {
+            self.shard_crc.get(i).copied()
+        }
     }
 
     /// Expected CRC of summary `i`, when the store records checksums.
     fn expected_summary_crc(&self, i: usize) -> Option<u32> {
-        self.summary_crc.get(i).copied()
+        if self.is_tail(i) {
+            self.tail_summary_crc
+        } else {
+            self.summary_crc.get(i).copied()
+        }
     }
 }
 
@@ -344,6 +394,10 @@ pub struct MetaStore {
     /// Replica directories in read-preference order.
     dirs: Vec<PathBuf>,
     manifest: Manifest,
+    /// Manifest file this handle reads and scrub-repairs: `manifest.json`
+    /// for the live store, `manifest-eNNNN.json` when opened at a historical
+    /// epoch (so a time-travel handle never clobbers the live manifest).
+    manifest_name: String,
     /// LRU cache of decoded shards: back = most recently used.
     cache: VecDeque<(usize, Vec<ElasticMap>)>,
     cache_shards: usize,
@@ -357,12 +411,27 @@ pub struct MetaStore {
     rec: Recorder,
 }
 
-fn shard_file(i: usize) -> String {
+pub(crate) fn shard_file(i: usize) -> String {
     format!("shard-{i:04}.json")
 }
 
-fn summary_file(i: usize) -> String {
+pub(crate) fn summary_file(i: usize) -> String {
     format!("summary-{i:04}.json")
+}
+
+/// Per-epoch tail shard: the (< `shard_blocks`) newest maps at epoch `e`.
+pub(crate) fn epoch_file(e: u64) -> String {
+    format!("epoch-{e:04}.json")
+}
+
+/// Summary sidecar of the per-epoch tail shard.
+pub(crate) fn epoch_summary_file(e: u64) -> String {
+    format!("epoch-{e:04}-summary.json")
+}
+
+/// Immutable per-epoch manifest; `manifest.json` always mirrors the newest.
+pub(crate) fn epoch_manifest_file(e: u64) -> String {
+    format!("manifest-e{e:04}.json")
 }
 
 impl MetaStore {
@@ -421,6 +490,9 @@ impl MetaStore {
             version: FORMAT_VERSION,
             shard_crc,
             summary_crc,
+            epoch: 0,
+            tail_crc: None,
+            tail_summary_crc: None,
         };
         let manifest_bytes = serde_json::to_vec_pretty(&manifest).map_err(io::Error::from)?;
         for dir in dirs {
@@ -457,11 +529,36 @@ impl MetaStore {
     /// # Panics
     /// Panics if `dirs` is empty.
     pub fn open_replicated(dirs: &[&Path], cache_shards: usize) -> Result<Self, StoreError> {
+        Self::open_replicated_named(dirs, "manifest.json", cache_shards)
+    }
+
+    /// Open a replicated store **as of ingest epoch `epoch`** via its
+    /// immutable per-epoch manifest (`manifest-eNNNN.json`). Only stores
+    /// written by the streaming ingestor carry these; the handle answers
+    /// queries exactly as the live store did at that epoch and its scrub
+    /// pass repairs the epoch manifest, never `manifest.json`.
+    ///
+    /// # Errors
+    /// Same as [`MetaStore::open_replicated`]; a missing epoch manifest
+    /// surfaces as the underlying I/O error.
+    pub fn open_replicated_at_epoch(
+        dirs: &[&Path],
+        epoch: u64,
+        cache_shards: usize,
+    ) -> Result<Self, StoreError> {
+        Self::open_replicated_named(dirs, &epoch_manifest_file(epoch), cache_shards)
+    }
+
+    fn open_replicated_named(
+        dirs: &[&Path],
+        manifest_name: &str,
+        cache_shards: usize,
+    ) -> Result<Self, StoreError> {
         assert!(!dirs.is_empty(), "need at least one replica directory");
         let mut last_err: Option<StoreError> = None;
         let mut manifest: Option<Manifest> = None;
         for dir in dirs {
-            match Self::read_manifest(dir) {
+            match Self::read_manifest_named(dir, manifest_name) {
                 Ok(m) => {
                     manifest = Some(m);
                     break;
@@ -476,6 +573,7 @@ impl MetaStore {
         Ok(Self {
             dirs: dirs.iter().map(|d| d.to_path_buf()).collect(),
             manifest,
+            manifest_name: manifest_name.to_string(),
             cache: VecDeque::new(),
             cache_shards,
             retry: RetryPolicy::default(),
@@ -488,8 +586,8 @@ impl MetaStore {
     /// Decode one replica's manifest, distinguishing future versions from
     /// corruption *before* the full decode (a future manifest may have
     /// fields this build cannot even parse).
-    fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
-        let path = dir.join("manifest.json");
+    fn read_manifest_named(dir: &Path, name: &str) -> Result<Manifest, StoreError> {
+        let path = dir.join(name);
         let bytes = fs::read(&path)?;
         let value = serde_json::parse_value(&bytes).map_err(|e| StoreError::Corrupt {
             path: path.clone(),
@@ -645,11 +743,12 @@ impl MetaStore {
             "shard-load",
             Domain::Wall,
             self.rec.wall_us(),
-            SpanCtx::default().note(shard_file(index)),
+            SpanCtx::default().note(self.manifest.shard_file_name(index)),
         );
         let (start, end) = self.shard_span(index);
         let expect = self.manifest.expected_shard_crc(index);
-        let maps = match self.read_with_failover(index, &shard_file(index), expect, |bytes| {
+        let file = self.manifest.shard_file_name(index);
+        let maps = match self.read_with_failover(index, &file, expect, |bytes| {
             let maps: Vec<ElasticMap> = serde_json::from_slice(bytes).map_err(|e| e.to_string())?;
             if maps.len() != end - start {
                 return Err(format!(
@@ -701,9 +800,10 @@ impl MetaStore {
             "summary-load",
             Domain::Wall,
             self.rec.wall_us(),
-            SpanCtx::default().note(summary_file(index)),
+            SpanCtx::default().note(self.manifest.summary_file_name(index)),
         );
-        let out = self.read_with_failover(index, &summary_file(index), expect, |bytes| {
+        let file = self.manifest.summary_file_name(index);
+        let out = self.read_with_failover(index, &file, expect, |bytes| {
             let sums: Vec<BlockSummary> =
                 serde_json::from_slice(bytes).map_err(|e| e.to_string())?;
             if sums.len() != end - start {
@@ -960,15 +1060,21 @@ impl MetaStore {
         // replica whose manifest is gone.
         let manifest_bytes =
             serde_json::to_vec_pretty(&self.manifest).expect("manifest serialises");
+        let manifest_name = self.manifest_name.clone();
         for dir in self.dirs.clone() {
-            if Self::read_manifest(&dir).is_err() && fs::create_dir_all(&dir).is_ok() {
-                let _ = fs::write(dir.join("manifest.json"), &manifest_bytes);
+            if Self::read_manifest_named(&dir, &manifest_name).is_err()
+                && fs::create_dir_all(&dir).is_ok()
+            {
+                let _ = fs::write(dir.join(&manifest_name), &manifest_bytes);
                 report.manifests_repaired += 1;
             }
         }
 
         for i in 0..self.manifest.shard_count() {
-            let repaired = self.scrub_file(&shard_file(i), self.manifest.expected_shard_crc(i));
+            let repaired = self.scrub_file(
+                &self.manifest.shard_file_name(i),
+                self.manifest.expected_shard_crc(i),
+            );
             match repaired {
                 Some(n) => {
                     report.repaired += n;
@@ -984,8 +1090,10 @@ impl MetaStore {
                     report.quarantined.push(i);
                 }
             }
-            let summaries =
-                self.scrub_file(&summary_file(i), self.manifest.expected_summary_crc(i));
+            let summaries = self.scrub_file(
+                &self.manifest.summary_file_name(i),
+                self.manifest.expected_summary_crc(i),
+            );
             match summaries {
                 Some(n) => {
                     report.summaries_repaired += n;
