@@ -16,11 +16,17 @@
 pub mod executor;
 pub mod flows;
 pub mod jobs;
+pub mod pipeline;
 pub mod profiles;
 pub mod session;
 
 pub use executor::{partitions_from_assignment, LocalExecutor, LocalRunReport};
 pub use jobs::{
     AggregateHistogram, MovingAverage, RecordJob, TopKCollector, TopKSearch, WordCount,
+};
+pub use pipeline::{
+    histogram_pipeline, join_word_count_pipeline, moving_average_pipeline, top_k_pipeline,
+    word_count_pipeline, AggJob, CrashPoint, InterruptedRun, KeyValue, MetaPlane, Pipeline,
+    PipelineEnv, PipelineOutput, PipelineReport, PipelineSpec, StageOp, StageReport, WorkingState,
 };
 pub use profiles::{histogram_profile, moving_average_profile, top_k_profile, word_count_profile};

@@ -1,0 +1,790 @@
+//! Composable, checkpointed analytics pipelines.
+//!
+//! A [`Pipeline`] is an ordered `seq` of typed stages over a *working
+//! state* (a record set plus its aggregates):
+//!
+//! * [`StageOp::Filter`] — start the working set from one sub-dataset,
+//! * [`StageOp::Append`] — union in another sub-dataset's records,
+//! * [`StageOp::Join`] — semi-join: keep records sharing an event time with
+//!   another sub-dataset,
+//! * [`StageOp::Aggregate`] — run one of the paper's four jobs over the
+//!   working set,
+//! * [`StageOp::Output`] — finalize and name the result.
+//!
+//! Every data stage's input sub-dataset is planned **distribution-aware**
+//! through the existing schedulers: healthy metadata plans through
+//! Algorithm 1 ([`DataNetScheduler`]); unhealthy metadata falls down the
+//! degradation ladder to a [`ResilientScheduler`] over the degraded view.
+//! Node crashes, slow windows and detector suspicion are priced by the
+//! fault engine (`run_selection_faulty_traced`, with its `node_lost`
+//! re-planning and shared retry budget), and each stage stamps its own
+//! [`FaultStats`]/[`ObsSummary`] into the report. The *data plane* is
+//! computed from DFS ground truth — the simulation prices the stage, it
+//! does not corrupt its output — which is what makes resume-equivalence
+//! exact.
+//!
+//! After each stage the working state is committed as a checksummed,
+//! epoch-stamped checkpoint ([`datanet::checkpoint`]) under the PR 6
+//! crash-safe write order: payload → immutable per-stage manifest (carrying
+//! `last_completed_operation`) → live pipeline manifest LAST. A crash after
+//! any write prefix leaves the previous stage durable; [`Pipeline::resume`]
+//! restores the newest durable state and re-plans only the surviving
+//! stages against the surviving cluster.
+
+use crate::jobs::{AggregateHistogram, MovingAverage, RecordJob, TopKSearch, WordCount};
+use crate::profiles::{
+    histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
+};
+use datanet::checkpoint::{self, CheckpointPlan};
+use datanet::{ElasticMapArray, MetaStore, RetryPolicy, StoreError};
+use datanet_dfs::{Dfs, Record, SubDatasetId};
+use datanet_mapreduce::{
+    run_analysis_surviving_traced, run_analysis_traced, run_selection_faulty_traced,
+    run_selection_traced, AnalysisConfig, DataNetScheduler, FaultConfig, FaultStats, JobProfile,
+    MapScheduler, ResilientScheduler, SelectionConfig, SelectionOutcome,
+};
+use datanet_obs::{Category, Domain, ObsSummary, Recorder, SpanCtx};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// One of the paper's four Table II jobs, usable as an aggregate stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggJob {
+    /// Word count over record payloads.
+    WordCount,
+    /// Moving average with the given window (seconds).
+    MovingAverage(u64),
+    /// Aggregate word histogram.
+    Histogram,
+    /// Top-K similarity search against the default query sequence.
+    TopK,
+}
+
+impl AggJob {
+    /// The engine cost profile pricing this job's analysis phase.
+    pub fn profile(&self) -> JobProfile {
+        match self {
+            AggJob::WordCount => word_count_profile(),
+            AggJob::MovingAverage(_) => moving_average_profile(),
+            AggJob::Histogram => histogram_profile(),
+            AggJob::TopK => top_k_profile(),
+        }
+    }
+
+    fn job(&self) -> Box<dyn RecordJob> {
+        match self {
+            AggJob::WordCount => Box::new(WordCount),
+            AggJob::MovingAverage(w) => Box::new(MovingAverage { window_secs: *w }),
+            AggJob::Histogram => Box::new(AggregateHistogram),
+            AggJob::TopK => Box::new(TopKSearch::default()),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            AggJob::WordCount => "word-count",
+            AggJob::MovingAverage(_) => "moving-average",
+            AggJob::Histogram => "histogram",
+            AggJob::TopK => "top-k",
+        }
+    }
+
+    /// Deterministic map → reduce over the working set: keys are
+    /// accumulated in sorted order, so the same records always produce the
+    /// same aggregate list, bit for bit.
+    pub fn run(&self, records: &[Record]) -> Vec<KeyValue> {
+        let job = self.job();
+        let mut acc: std::collections::BTreeMap<u64, Vec<f64>> = std::collections::BTreeMap::new();
+        for r in records {
+            job.map(r, &mut |k, v| acc.entry(k).or_default().push(v));
+        }
+        acc.into_iter()
+            .map(|(key, vs)| KeyValue {
+                key,
+                value: job.reduce(key, &vs),
+            })
+            .collect()
+    }
+}
+
+/// One typed pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageOp {
+    /// Replace the working set with one sub-dataset's records.
+    Filter(u64),
+    /// Union another sub-dataset's records into the working set.
+    Append(u64),
+    /// Semi-join: keep working records whose timestamp also occurs in the
+    /// given sub-dataset (shared event time ⇒ related activity).
+    Join(u64),
+    /// Aggregate the working set with one of the four jobs.
+    Aggregate(AggJob),
+    /// Finalize the result under a name.
+    Output(String),
+}
+
+impl StageOp {
+    /// Human-readable stage label, also stamped into checkpoint manifests.
+    pub fn label(&self) -> String {
+        match self {
+            StageOp::Filter(s) => format!("filter(s={s})"),
+            StageOp::Append(s) => format!("append(s={s})"),
+            StageOp::Join(s) => format!("join(s={s})"),
+            StageOp::Aggregate(j) => format!("aggregate({})", j.label()),
+            StageOp::Output(name) => format!("output({name})"),
+        }
+    }
+
+    /// The sub-dataset this stage reads from the DFS, if any.
+    pub fn subdataset(&self) -> Option<SubDatasetId> {
+        match self {
+            StageOp::Filter(s) | StageOp::Append(s) | StageOp::Join(s) => Some(SubDatasetId(*s)),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered stage sequence with a name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Pipeline name (stamped into every checkpoint manifest; resume
+    /// refuses a store written by a differently-named pipeline).
+    pub name: String,
+    /// The stages, executed in order.
+    pub seq: Vec<StageOp>,
+}
+
+/// WordCount as a stage graph: filter → aggregate → output.
+pub fn word_count_pipeline(s: SubDatasetId) -> PipelineSpec {
+    PipelineSpec {
+        name: "word-count".into(),
+        seq: vec![
+            StageOp::Filter(s.0),
+            StageOp::Aggregate(AggJob::WordCount),
+            StageOp::Output("word-count".into()),
+        ],
+    }
+}
+
+/// Moving Average as a stage graph: filter → aggregate(window) → output.
+pub fn moving_average_pipeline(s: SubDatasetId, window_secs: u64) -> PipelineSpec {
+    PipelineSpec {
+        name: "moving-average".into(),
+        seq: vec![
+            StageOp::Filter(s.0),
+            StageOp::Aggregate(AggJob::MovingAverage(window_secs)),
+            StageOp::Output("moving-average".into()),
+        ],
+    }
+}
+
+/// Aggregate Histogram as a stage graph: filter → aggregate → output.
+pub fn histogram_pipeline(s: SubDatasetId) -> PipelineSpec {
+    PipelineSpec {
+        name: "histogram".into(),
+        seq: vec![
+            StageOp::Filter(s.0),
+            StageOp::Aggregate(AggJob::Histogram),
+            StageOp::Output("histogram".into()),
+        ],
+    }
+}
+
+/// Top-K Search as a stage graph: filter → aggregate → output.
+pub fn top_k_pipeline(s: SubDatasetId) -> PipelineSpec {
+    PipelineSpec {
+        name: "top-k".into(),
+        seq: vec![
+            StageOp::Filter(s.0),
+            StageOp::Aggregate(AggJob::TopK),
+            StageOp::Output("top-k".into()),
+        ],
+    }
+}
+
+/// A multi-stage composite: filter one sub-dataset, join against a second,
+/// then count words over the correlated records.
+pub fn join_word_count_pipeline(a: SubDatasetId, b: SubDatasetId) -> PipelineSpec {
+    PipelineSpec {
+        name: "join-word-count".into(),
+        seq: vec![
+            StageOp::Filter(a.0),
+            StageOp::Join(b.0),
+            StageOp::Aggregate(AggJob::WordCount),
+            StageOp::Output("join-word-count".into()),
+        ],
+    }
+}
+
+/// One reduced key/value pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyValue {
+    /// Intermediate key.
+    pub key: u64,
+    /// Reduced value.
+    pub value: f64,
+}
+
+/// The data flowing between stages: the current record set and the latest
+/// aggregates. This is exactly what a checkpoint persists.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkingState {
+    /// Records in DFS block order (deterministic across runs).
+    pub records: Vec<Record>,
+    /// Aggregates from the most recent [`StageOp::Aggregate`] stage.
+    pub aggregates: Vec<KeyValue>,
+}
+
+impl WorkingState {
+    fn payload(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("working state serialization is infallible")
+    }
+}
+
+/// Where stage planning reads its metadata from.
+pub enum MetaPlane<'a> {
+    /// In-memory ElasticMap array: always healthy, rung-1 views.
+    Array(&'a ElasticMapArray),
+    /// Replicated MetaStore: planning goes through [`MetaStore::view_degraded`]
+    /// and falls down the degradation ladder when shards are unhealthy.
+    Store(&'a mut MetaStore),
+}
+
+impl MetaPlane<'_> {
+    /// A scheduler for `s` plus `(unknown_blocks, healthy)` rung info.
+    fn scheduler_for(&mut self, dfs: &Dfs, s: SubDatasetId) -> (Box<dyn MapScheduler>, u64, bool) {
+        match self {
+            MetaPlane::Array(arr) => {
+                let view = arr.view(s);
+                (Box::new(DataNetScheduler::new(dfs, &view)), 0, true)
+            }
+            MetaPlane::Store(store) => {
+                let deg = store.view_degraded(s);
+                let unknown = deg.unknown_blocks().len() as u64;
+                if deg.is_healthy() {
+                    (Box::new(DataNetScheduler::new(dfs, deg.view())), 0, true)
+                } else {
+                    (Box::new(ResilientScheduler::new(dfs, &deg)), unknown, false)
+                }
+            }
+        }
+    }
+}
+
+/// Everything a pipeline run needs besides the spec and the checkpoint
+/// directories.
+pub struct PipelineEnv<'a> {
+    /// The dataset.
+    pub dfs: &'a Dfs,
+    /// Metadata plane stage planning reads from.
+    pub meta: MetaPlane<'a>,
+    /// `Some` prices every stage under the scripted fault plan (crashes,
+    /// slow windows, detector suspicion — each stage restarts the sim clock
+    /// at zero against the same plan).
+    pub faults: Option<FaultConfig>,
+    /// Selection-phase cost model.
+    pub selection: SelectionConfig,
+    /// Analysis-phase cost model.
+    pub analysis: AnalysisConfig,
+    /// Bounded-retry policy for checkpoint commits (shared with the
+    /// MetaStore failover reads and the engine budget — `datanet::retry`).
+    pub retry: RetryPolicy,
+    /// Seed for the deterministic backoff jitter of checkpoint retries.
+    pub retry_seed: u64,
+}
+
+impl<'a> PipelineEnv<'a> {
+    /// Defaults: healthy metadata from `arr`, no faults, default cost
+    /// models and retry policy.
+    pub fn new(dfs: &'a Dfs, arr: &'a ElasticMapArray) -> Self {
+        Self {
+            dfs,
+            meta: MetaPlane::Array(arr),
+            faults: None,
+            selection: SelectionConfig::default(),
+            analysis: AnalysisConfig::default(),
+            retry: RetryPolicy::default(),
+            retry_seed: 0,
+        }
+    }
+}
+
+/// Per-stage entry of the pipeline report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage index in the spec (also its checkpoint epoch).
+    pub index: u64,
+    /// Stage label.
+    pub label: String,
+    /// Records entering the stage.
+    pub records_in: u64,
+    /// Records leaving the stage.
+    pub records_out: u64,
+    /// Aggregates leaving the stage.
+    pub aggregates_out: u64,
+    /// Ground-truth bytes of the stage's input sub-dataset (0 for
+    /// aggregate/output stages).
+    pub input_bytes: u64,
+    /// Blocks planned through the rung-3 locality fallback because the
+    /// metadata shards were unhealthy.
+    pub unknown_blocks: u64,
+    /// Did planning fall down the degradation ladder?
+    pub degraded: bool,
+    /// Simulated stage duration, seconds.
+    pub sim_secs: f64,
+    /// CRC-32 of the stage's checkpoint payload.
+    pub checkpoint_crc: u32,
+    /// Checkpoint write attempts beyond the first.
+    pub checkpoint_retries: u32,
+    /// Fault accounting for this stage's simulated execution.
+    pub faults: FaultStats,
+    /// Per-stage observability summary (`None` when the recorder is off).
+    pub obs: Option<ObsSummary>,
+}
+
+// Hand-written so a recorder-off run serializes without an `obs` key and
+// stays byte-identical to pre-observability output (same idiom as
+// `ExecutionReport`; the vendored serde derive has no `skip_serializing_if`).
+impl Serialize for StageReport {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("index".to_string(), self.index.to_value()),
+            ("label".to_string(), self.label.to_value()),
+            ("records_in".to_string(), self.records_in.to_value()),
+            ("records_out".to_string(), self.records_out.to_value()),
+            ("aggregates_out".to_string(), self.aggregates_out.to_value()),
+            ("input_bytes".to_string(), self.input_bytes.to_value()),
+            ("unknown_blocks".to_string(), self.unknown_blocks.to_value()),
+            ("degraded".to_string(), self.degraded.to_value()),
+            ("sim_secs".to_string(), self.sim_secs.to_value()),
+            ("checkpoint_crc".to_string(), self.checkpoint_crc.to_value()),
+            (
+                "checkpoint_retries".to_string(),
+                self.checkpoint_retries.to_value(),
+            ),
+            ("faults".to_string(), self.faults.to_value()),
+        ];
+        if let Some(obs) = &self.obs {
+            entries.push(("obs".to_string(), obs.to_value()));
+        }
+        Value::Object(entries)
+    }
+}
+
+/// The pipeline's final data product.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PipelineOutput {
+    /// Final working-set record count.
+    pub records: u64,
+    /// Final aggregates.
+    pub aggregates: Vec<KeyValue>,
+    /// CRC-32 of the canonical serialized final working state — the
+    /// byte-level identity the resume-equivalence oracle compares.
+    pub digest: u32,
+}
+
+impl PipelineOutput {
+    fn from_state(state: &WorkingState) -> Self {
+        Self {
+            records: state.records.len() as u64,
+            aggregates: state.aggregates.clone(),
+            digest: checkpoint::content_crc(&state.payload()),
+        }
+    }
+}
+
+/// Report of one pipeline run (uninterrupted or resumed).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PipelineReport {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// `Some(k)` when this run resumed after durable stage `k` (its
+    /// reports cover only the re-executed stages).
+    pub resumed_from: Option<u64>,
+    /// Reports for the stages this run executed.
+    pub stages: Vec<StageReport>,
+    /// The final data product.
+    pub output: PipelineOutput,
+}
+
+impl PipelineReport {
+    /// Canonical JSON of everything that must be byte-identical between an
+    /// uninterrupted run and any crash + resume: the pipeline identity and
+    /// its data output. Timing, `FaultStats` and `obs` are excluded by
+    /// construction; the full per-stage equivalence is checked against the
+    /// durable checkpoint ledger ([`checkpoint::ledger`]).
+    pub fn data_fingerprint(&self) -> String {
+        let v = Value::Object(vec![
+            ("pipeline".to_string(), self.pipeline.to_value()),
+            ("output".to_string(), self.output.to_value()),
+        ]);
+        serde_json::to_string(&v).expect("fingerprint serialization is infallible")
+    }
+}
+
+/// Where a scripted crash strikes: during stage `stage`'s checkpoint
+/// commit, after `write_prefix % (writes + 1)` of its ordered writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Stage whose checkpoint the crash interrupts.
+    pub stage: usize,
+    /// Raw write-prefix selector (taken modulo `writes + 1`).
+    pub write_prefix: u64,
+}
+
+/// What a scripted crash left behind ([`Pipeline::run_interrupted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptedRun {
+    /// Stage the crash interrupted.
+    pub crash_stage: usize,
+    /// Ordered writes of that stage's checkpoint that landed before the
+    /// crash (all of them ⇒ the stage is durable after all).
+    pub applied_writes: usize,
+    /// Total writes the interrupted checkpoint plan had.
+    pub plan_writes: usize,
+}
+
+enum RunOutcome {
+    Completed(PipelineReport),
+    Crashed(InterruptedRun),
+}
+
+/// A validated, executable pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    spec: PipelineSpec,
+}
+
+impl Pipeline {
+    /// Validate and wrap a spec.
+    ///
+    /// # Panics
+    /// Panics if the spec is empty or does not begin with a
+    /// [`StageOp::Filter`] (every later stage needs a working set).
+    pub fn new(spec: PipelineSpec) -> Self {
+        assert!(!spec.seq.is_empty(), "pipeline needs at least one stage");
+        assert!(
+            matches!(spec.seq[0], StageOp::Filter(_)),
+            "pipelines start with a filter stage"
+        );
+        Self { spec }
+    }
+
+    /// The validated spec.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.spec.seq.len()
+    }
+
+    /// Never true — `new` rejects empty specs; included for idiom.
+    pub fn is_empty(&self) -> bool {
+        self.spec.seq.is_empty()
+    }
+
+    /// Run every stage from scratch, checkpointing each into `dirs`.
+    ///
+    /// # Errors
+    /// Checkpoint IO failures (after the bounded retries are exhausted).
+    pub fn run(
+        &self,
+        env: &mut PipelineEnv,
+        dirs: &[&Path],
+        rec: &Recorder,
+    ) -> Result<PipelineReport, StoreError> {
+        match self.exec(env, dirs, 0, WorkingState::default(), None, None, rec)? {
+            RunOutcome::Completed(r) => Ok(r),
+            RunOutcome::Crashed(_) => unreachable!("no crash was scripted"),
+        }
+    }
+
+    /// Resume from the last durable checkpoint in `dirs`: restore its
+    /// working state, then execute only the remaining stages against the
+    /// *current* cluster and metadata plane. Directories with no durable
+    /// checkpoint (crashed before the first commit) start a fresh run.
+    ///
+    /// # Errors
+    /// Corrupt/mismatched checkpoints, or checkpoint IO failures.
+    pub fn resume(
+        &self,
+        env: &mut PipelineEnv,
+        dirs: &[&Path],
+        rec: &Recorder,
+    ) -> Result<PipelineReport, StoreError> {
+        let Some((manifest, payload)) = checkpoint::resume(dirs)? else {
+            return self.run(env, dirs, rec);
+        };
+        if manifest.pipeline != self.spec.name {
+            return Err(StoreError::Corrupt {
+                path: dirs.first().map(|d| d.to_path_buf()).unwrap_or_default(),
+                detail: format!(
+                    "checkpoint belongs to pipeline `{}`, not `{}`",
+                    manifest.pipeline, self.spec.name
+                ),
+            });
+        }
+        let last = manifest.last_completed_operation as usize;
+        if last >= self.len() {
+            return Err(StoreError::Corrupt {
+                path: dirs.first().map(|d| d.to_path_buf()).unwrap_or_default(),
+                detail: format!(
+                    "checkpoint stage {last} is beyond the {}-stage pipeline",
+                    self.len()
+                ),
+            });
+        }
+        let state: WorkingState =
+            serde_json::from_slice(&payload).map_err(|e| StoreError::Corrupt {
+                path: dirs.first().map(|d| d.to_path_buf()).unwrap_or_default(),
+                detail: format!("checkpoint payload does not decode: {e}"),
+            })?;
+        match self.exec(env, dirs, last + 1, state, Some(last as u64), None, rec)? {
+            RunOutcome::Completed(r) => Ok(r),
+            RunOutcome::Crashed(_) => unreachable!("no crash was scripted"),
+        }
+    }
+
+    /// Run with a scripted crash: stages before `crash.stage` commit
+    /// normally; that stage executes but its checkpoint stops after a
+    /// prefix of its ordered writes, modeling a node dying mid-commit.
+    ///
+    /// # Errors
+    /// Checkpoint IO failures.
+    ///
+    /// # Panics
+    /// Panics if `crash.stage` is out of range.
+    pub fn run_interrupted(
+        &self,
+        env: &mut PipelineEnv,
+        dirs: &[&Path],
+        crash: CrashPoint,
+        rec: &Recorder,
+    ) -> Result<InterruptedRun, StoreError> {
+        assert!(crash.stage < self.len(), "crash stage out of range");
+        match self.exec(
+            env,
+            dirs,
+            0,
+            WorkingState::default(),
+            None,
+            Some(crash),
+            rec,
+        )? {
+            RunOutcome::Crashed(i) => Ok(i),
+            RunOutcome::Completed(_) => unreachable!("crash stage is in range"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec(
+        &self,
+        env: &mut PipelineEnv,
+        dirs: &[&Path],
+        start: usize,
+        mut state: WorkingState,
+        resumed_from: Option<u64>,
+        crash: Option<CrashPoint>,
+        rec: &Recorder,
+    ) -> Result<RunOutcome, StoreError> {
+        let mut stages = Vec::new();
+        let mut last_selection: Option<SelectionOutcome> = None;
+        for (i, op) in self.spec.seq.iter().enumerate().skip(start) {
+            let label = op.label();
+            // Per-stage recorder: the stage's ObsSummary must cover exactly
+            // this stage's spans, so each stage records into its own buffer
+            // (enabled iff the caller's recorder is).
+            let stage_rec = if rec.is_enabled() {
+                Recorder::new()
+            } else {
+                Recorder::off()
+            };
+            let records_in = state.records.len() as u64;
+            let mut input_bytes = 0u64;
+            let mut unknown_blocks = 0u64;
+            let mut degraded = false;
+            let mut sim_secs = 0.0f64;
+            let mut faults = FaultStats::default();
+
+            match op {
+                StageOp::Filter(_) | StageOp::Append(_) | StageOp::Join(_) => {
+                    let s = op.subdataset().expect("data stages name a sub-dataset");
+                    let outcome = self.plan_data_stage(env, s, &stage_rec);
+                    input_bytes = env.dfs.subdataset_total(s);
+                    unknown_blocks = outcome.1;
+                    degraded = !outcome.2;
+                    let outcome = outcome.0;
+                    sim_secs = outcome.end.as_secs_f64();
+                    faults = outcome.faults.clone();
+                    let incoming = subdataset_records(env.dfs, s);
+                    match op {
+                        StageOp::Filter(_) => state.records = incoming,
+                        StageOp::Append(_) => state.records.extend(incoming),
+                        StageOp::Join(_) => {
+                            let keys: BTreeSet<u64> =
+                                incoming.iter().map(|r| r.timestamp).collect();
+                            state.records.retain(|r| keys.contains(&r.timestamp));
+                        }
+                        _ => unreachable!(),
+                    }
+                    // The record set changed: any previous aggregates
+                    // describe a working set that no longer exists.
+                    state.aggregates.clear();
+                    last_selection = Some(outcome);
+                }
+                StageOp::Aggregate(job) => {
+                    // Resume may land directly on an aggregate stage; the
+                    // partitions its analysis phase prices then come from
+                    // re-planning the latest *surviving* data stage against
+                    // the current cluster.
+                    if last_selection.is_none() {
+                        let j = self.spec.seq[..i]
+                            .iter()
+                            .rposition(|o| o.subdataset().is_some())
+                            .expect("specs start with a filter stage");
+                        let s = self.spec.seq[j].subdataset().expect("data stage");
+                        let replan = self.plan_data_stage(env, s, &stage_rec);
+                        unknown_blocks = replan.1;
+                        degraded = !replan.2;
+                        last_selection = Some(replan.0);
+                    }
+                    let sel = last_selection.as_ref().expect("selection planned above");
+                    let profile = job.profile();
+                    let report = if env.faults.is_some() {
+                        let mut alive = vec![true; sel.per_node_bytes.len()];
+                        for &n in &sel.faults.crashed_nodes {
+                            alive[n] = false;
+                        }
+                        run_analysis_surviving_traced(
+                            &sel.per_node_bytes,
+                            &profile,
+                            &env.analysis,
+                            &alive,
+                            sel.end,
+                            &stage_rec,
+                        )
+                    } else {
+                        run_analysis_traced(
+                            &sel.per_node_bytes,
+                            &profile,
+                            &env.analysis,
+                            sel.end,
+                            &stage_rec,
+                        )
+                    };
+                    sim_secs = report.makespan_secs;
+                    faults = sel.faults.clone();
+                    state.aggregates = job.run(&state.records);
+                }
+                StageOp::Output(_) => {}
+            }
+
+            // Commit the checkpoint (crash-safe write order; bounded
+            // retries with deterministic jitter).
+            let plan = CheckpointPlan::new(&self.spec.name, i as u64, &label, state.payload());
+            let checkpoint_crc = plan.manifest().payload_crc;
+            if let Some(cp) = crash {
+                if cp.stage == i {
+                    let applied = (cp.write_prefix % (plan.writes() as u64 + 1)) as usize;
+                    plan.apply_prefix(dirs, applied)?;
+                    return Ok(RunOutcome::Crashed(InterruptedRun {
+                        crash_stage: i,
+                        applied_writes: applied,
+                        plan_writes: plan.writes(),
+                    }));
+                }
+            }
+            let span = rec.begin(
+                Category::Checkpoint,
+                "commit",
+                Domain::Wall,
+                rec.wall_us(),
+                SpanCtx::default().note(label.clone()),
+            );
+            let mut checkpoint_retries = 0u32;
+            loop {
+                match plan.apply(dirs) {
+                    Ok(()) => break,
+                    Err(_) if checkpoint_retries + 1 < env.retry.attempts_per_replica => {
+                        checkpoint_retries += 1;
+                        std::thread::sleep(
+                            env.retry
+                                .backoff_jittered(checkpoint_retries, env.retry_seed ^ i as u64),
+                        );
+                    }
+                    Err(e) => {
+                        rec.end_with_note(span, rec.wall_us(), "failed");
+                        return Err(e);
+                    }
+                }
+            }
+            rec.end(span, rec.wall_us());
+
+            let obs = if stage_rec.is_enabled() {
+                Some(stage_rec.take().summary(None))
+            } else {
+                None
+            };
+            stages.push(StageReport {
+                index: i as u64,
+                label,
+                records_in,
+                records_out: state.records.len() as u64,
+                aggregates_out: state.aggregates.len() as u64,
+                input_bytes,
+                unknown_blocks,
+                degraded,
+                sim_secs,
+                checkpoint_crc,
+                checkpoint_retries,
+                faults,
+                obs,
+            });
+        }
+        Ok(RunOutcome::Completed(PipelineReport {
+            pipeline: self.spec.name.clone(),
+            resumed_from,
+            stages,
+            output: PipelineOutput::from_state(&state),
+        }))
+    }
+
+    /// Plan one data stage distribution-aware: scheduler from the metadata
+    /// plane (down the degradation ladder if unhealthy), priced by the
+    /// fault engine when faults are configured. Returns
+    /// `(outcome, unknown_blocks, healthy)`.
+    fn plan_data_stage(
+        &self,
+        env: &mut PipelineEnv,
+        s: SubDatasetId,
+        rec: &Recorder,
+    ) -> (SelectionOutcome, u64, bool) {
+        let truth = env.dfs.subdataset_distribution(s);
+        let (mut sched, unknown, healthy) = env.meta.scheduler_for(env.dfs, s);
+        let outcome = match &env.faults {
+            Some(fc) => run_selection_faulty_traced(
+                env.dfs,
+                &truth,
+                sched.as_mut(),
+                &env.selection,
+                fc,
+                rec,
+            ),
+            None => run_selection_traced(env.dfs, &truth, sched.as_mut(), &env.selection, rec),
+        };
+        (outcome, unknown, healthy)
+    }
+}
+
+/// All records of `s` in DFS block order — the canonical record order every
+/// run (and every resume) observes.
+fn subdataset_records(dfs: &Dfs, s: SubDatasetId) -> Vec<Record> {
+    let mut out = Vec::new();
+    for b in dfs.blocks() {
+        out.extend(b.filter(s).copied());
+    }
+    out
+}

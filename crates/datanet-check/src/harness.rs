@@ -9,9 +9,12 @@
 use crate::scenario::{Corruption, Scenario};
 use datanet::planner::{Algorithm1, Assignment, FordFulkersonPlanner};
 use datanet::{
-    ElasticMapArray, IngestConfig, Ingestor, MetaStore, Separation, SizeInfo, SubDatasetView,
+    checkpoint, ElasticMapArray, IngestConfig, Ingestor, MetaStore, RetryPolicy, Separation,
+    SizeInfo, SubDatasetView,
 };
-use datanet_analytics::word_count_profile;
+use datanet_analytics::{
+    word_count_profile, CrashPoint, MetaPlane, Pipeline, PipelineEnv, StageOp,
+};
 use datanet_dfs::{BlockId, Dfs, NodeId, SubDatasetId};
 use datanet_mapreduce::{
     run_pipeline_faulty_traced, run_pipeline_traced, run_selection_resilient_traced,
@@ -345,6 +348,9 @@ pub fn check_scenario_with(sc: &Scenario, opts: &CheckOptions) -> CheckOutcome {
 
     // ---- full pipeline twins + obs closure ---------------------------
     pipeline_oracles(&mut v, sc, &dfs, &view);
+
+    // ---- checkpointed pipeline executor: crash + resume ≡ run --------
+    pipeline_exec_oracles(&mut v, sc, &dfs, &arr);
 
     // ---- streaming ingest: incremental ≡ rebuild at every prefix -----
     ingest_oracles(&mut v, sc, &dfs, &sep);
@@ -821,6 +827,193 @@ fn pipeline_oracles(v: &mut Vec<Violation>, sc: &Scenario, dfs: &Dfs, view: &Sub
     }
 }
 
+/// Checkpointed pipeline executor oracles (DESIGN.md §15): the scenario's
+/// drawn multi-stage pipeline runs end-to-end with every stage
+/// checkpointed; per-stage record accounting matches each op's contract;
+/// the durable checkpoint ledger is exactly the stage sequence with the
+/// CRCs the run reported; and a scripted mid-checkpoint crash followed by
+/// [`Pipeline::resume`] reproduces the uninterrupted run's data product
+/// and ledger bit for bit.
+fn pipeline_exec_oracles(v: &mut Vec<Violation>, sc: &Scenario, dfs: &Dfs, arr: &ElasticMapArray) {
+    let pipe = Pipeline::new(sc.pipeline_spec());
+    let mut env = PipelineEnv {
+        dfs,
+        meta: MetaPlane::Array(arr),
+        faults: sc.has_faults().then(|| sc.fault_config()),
+        selection: SelectionConfig::default(),
+        analysis: AnalysisConfig::default(),
+        retry: RetryPolicy::default(),
+        retry_seed: sc.seed,
+    };
+    let dirs_a = ReplicaDirs::new(2);
+    let report = match pipe.run(&mut env, &dirs_a.paths(), &Recorder::off()) {
+        Ok(r) => r,
+        Err(e) => {
+            v.push(Violation::new(
+                "pipeline-run",
+                format!("uninterrupted run failed: {e}"),
+            ));
+            return;
+        }
+    };
+
+    // Record accounting per stage: filter replaces, append unions, join
+    // only narrows, aggregate/output never touch the record set.
+    let count = |s: SubDatasetId| -> u64 {
+        dfs.blocks()
+            .iter()
+            .map(|b| b.filter(s).count() as u64)
+            .sum()
+    };
+    for st in &report.stages {
+        let ok = match &pipe.spec().seq[st.index as usize] {
+            StageOp::Filter(s) => st.records_out == count(SubDatasetId(*s)),
+            StageOp::Append(s) => st.records_out == st.records_in + count(SubDatasetId(*s)),
+            StageOp::Join(_) => st.records_out <= st.records_in,
+            StageOp::Aggregate(_) | StageOp::Output(_) => st.records_out == st.records_in,
+        };
+        if !ok {
+            v.push(Violation::new(
+                "pipeline-stage-conservation",
+                format!(
+                    "stage {} ({}): {} records in, {} out",
+                    st.index, st.label, st.records_in, st.records_out
+                ),
+            ));
+        }
+    }
+
+    // Checkpoint monotonicity: the durable ledger is exactly stages
+    // 0..n−1, in order, each carrying the payload CRC its stage reported.
+    let ledger_a = match checkpoint::ledger(&dirs_a.paths()) {
+        Ok(l) => l,
+        Err(e) => {
+            v.push(Violation::new(
+                "pipeline-checkpoint-monotonicity",
+                format!("ledger unreadable after a clean run: {e}"),
+            ));
+            return;
+        }
+    };
+    if ledger_a.len() != pipe.len()
+        || ledger_a
+            .iter()
+            .enumerate()
+            .any(|(k, m)| m.last_completed_operation != k as u64)
+    {
+        v.push(Violation::new(
+            "pipeline-checkpoint-monotonicity",
+            format!(
+                "{}-stage pipeline left ledger epochs [{}]",
+                pipe.len(),
+                ledger_a
+                    .iter()
+                    .map(|m| m.last_completed_operation.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ));
+    }
+    for st in &report.stages {
+        match ledger_a.get(st.index as usize) {
+            Some(m) if m.payload_crc == st.checkpoint_crc && m.label == st.label => {}
+            _ => v.push(Violation::new(
+                "pipeline-checkpoint-monotonicity",
+                format!(
+                    "stage {} ({}) is not in the durable ledger with CRC {:#010x}",
+                    st.index, st.label, st.checkpoint_crc
+                ),
+            )),
+        }
+    }
+
+    // Scripted mid-checkpoint crash, then resume: the tentpole property.
+    let Some(raw) = sc.pipeline.crash_stage else {
+        return;
+    };
+    let crash = CrashPoint {
+        stage: (raw % pipe.len() as u64) as usize,
+        write_prefix: sc.pipeline.crash_write,
+    };
+    let dirs_b = ReplicaDirs::new(2);
+    let int = match pipe.run_interrupted(&mut env, &dirs_b.paths(), crash, &Recorder::off()) {
+        Ok(i) => i,
+        Err(e) => {
+            v.push(Violation::new(
+                "pipeline-run",
+                format!("interrupted run failed before its crash point: {e}"),
+            ));
+            return;
+        }
+    };
+    let rec = Recorder::new();
+    let resumed = match pipe.resume(&mut env, &dirs_b.paths(), &rec) {
+        Ok(r) => r,
+        Err(e) => {
+            v.push(Violation::new(
+                "pipeline-resume-equivalence",
+                format!(
+                    "resume failed after a crash {} of {} writes into stage {}: {e}",
+                    int.applied_writes, int.plan_writes, int.crash_stage
+                ),
+            ));
+            return;
+        }
+    };
+    let data = rec.take();
+    if data.unclosed_spans() != 0 {
+        v.push(Violation::new(
+            "unclosed-spans",
+            format!(
+                "pipeline resume: {} spans never closed",
+                data.unclosed_spans()
+            ),
+        ));
+    }
+    // The resume point is fully determined by how many of the interrupted
+    // checkpoint's writes landed: all of them ⇒ the crashed stage is
+    // durable; fewer ⇒ the previous stage (or a fresh run at stage 0).
+    let expected_from = if int.applied_writes == int.plan_writes {
+        Some(int.crash_stage as u64)
+    } else {
+        (int.crash_stage > 0).then(|| int.crash_stage as u64 - 1)
+    };
+    if resumed.resumed_from != expected_from {
+        v.push(Violation::new(
+            "pipeline-resume-equivalence",
+            format!(
+                "crash {} of {} writes into stage {} should resume from {:?}, resumed from {:?}",
+                int.applied_writes,
+                int.plan_writes,
+                int.crash_stage,
+                expected_from,
+                resumed.resumed_from
+            ),
+        ));
+    }
+    if resumed.data_fingerprint() != report.data_fingerprint() {
+        v.push(Violation::new(
+            "pipeline-resume-equivalence",
+            format!(
+                "resumed data product diverged from the uninterrupted run \
+                 (crash {} of {} writes into stage {})",
+                int.applied_writes, int.plan_writes, int.crash_stage
+            ),
+        ));
+    }
+    match checkpoint::ledger(&dirs_b.paths()) {
+        Ok(ledger_b) if ledger_b == ledger_a => {}
+        Ok(_) => v.push(Violation::new(
+            "pipeline-resume-equivalence",
+            "resumed checkpoint ledger differs from the uninterrupted run's".to_string(),
+        )),
+        Err(e) => v.push(Violation::new(
+            "pipeline-resume-equivalence",
+            format!("resumed ledger unreadable: {e}"),
+        )),
+    }
+}
+
 /// Streaming-ingest oracles: replay the scenario's blocks as a stream
 /// through an [`Ingestor`] on the arrival schedule in `sc.ingest`, and
 /// enforce, at **every** prefix of the arrival sequence, that the
@@ -914,11 +1107,19 @@ fn ingest_oracles(v: &mut Vec<Violation>, sc: &Scenario, dfs: &Dfs, sep: &Separa
                         return;
                     }
                 }
-                // Tear down and resume from whatever epoch is durable; a
-                // store with no manifest yet resumes as a fresh ingestor.
+                // Tear down and resume from whatever epoch is durable. A
+                // store that crashed before its first commit resumes as a
+                // fresh epoch-0 ingestor — `Ingestor::resume` owns that
+                // edge now, so any error here is a real violation.
                 ing = match Ingestor::resume(cfg.clone(), &dirs.paths()) {
                     Ok(resumed) => resumed,
-                    Err(_) => Ingestor::new(cfg.clone()),
+                    Err(e) => {
+                        v.push(Violation::new(
+                            "ingest-crash-resume",
+                            format!("resume failed after a durable-prefix crash: {e}"),
+                        ));
+                        return;
+                    }
                 };
                 if ing.stats().summaries_built != 0 {
                     v.push(Violation::new(

@@ -10,6 +10,7 @@
 //! harness; everything downstream (dataset bytes, placement, fault
 //! times) derives deterministically from the expanded fields.
 
+use datanet_analytics::{AggJob, PipelineSpec, StageOp};
 use datanet_cluster::{DetectorConfig, FaultPlan, SimTime};
 use datanet_dfs::{Dfs, DfsConfig, Record, SubDatasetId, Topology};
 use datanet_mapreduce::FaultConfig;
@@ -78,6 +79,33 @@ pub struct IngestPlan {
     pub crash_write: u64,
 }
 
+/// One extra pipeline stage between the leading filter and the trailing
+/// output (PR 7's checkpointed-pipeline axis).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PipeOp {
+    /// Append sub-dataset `rank % subdatasets`.
+    Append(u64),
+    /// Semi-join against sub-dataset `rank % subdatasets`.
+    Join(u64),
+    /// Aggregate with job selector `% 4` (word count / moving average /
+    /// histogram / top-k).
+    Aggregate(u64),
+}
+
+/// Multi-stage pipeline schedule: the stage list plus a scripted
+/// mid-checkpoint crash point for the resume-equivalence oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelinePlan {
+    /// Stages between the leading `Filter(target)` and trailing `Output`.
+    pub ops: Vec<PipeOp>,
+    /// Crash during stage `raw % stage_count`'s checkpoint; `None` runs
+    /// the pipeline uninterrupted only.
+    pub crash_stage: Option<u64>,
+    /// Raw draw selecting how many of the interrupted checkpoint's plan
+    /// writes land (the harness takes it modulo plan length + 1).
+    pub crash_write: u64,
+}
+
 /// One fully-expanded simulated world.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -118,6 +146,8 @@ pub struct Scenario {
     pub max_retries: u32,
     /// Streaming-ingest arrival schedule and mid-commit crash point.
     pub ingest: IngestPlan,
+    /// Multi-stage pipeline schedule and mid-checkpoint crash point.
+    pub pipeline: PipelinePlan,
 }
 
 impl Scenario {
@@ -195,6 +225,30 @@ impl Scenario {
             crash_write: rng.gen(),
         };
 
+        // Pipeline draws append after the ingest draws — again at the END
+        // of the seed stream, so the whole corpus still expands to exactly
+        // the world it always did (plus a pipeline axis).
+        let pipeline = {
+            let extra = rng.gen_range(1usize..4);
+            let mut ops = Vec::with_capacity(extra);
+            for _ in 0..extra {
+                ops.push(match rng.gen_range(0u32..4) {
+                    0 => PipeOp::Append(rng.gen_range(0..subdatasets)),
+                    1 => PipeOp::Join(rng.gen_range(0..subdatasets)),
+                    _ => PipeOp::Aggregate(rng.gen_range(0u64..4)),
+                });
+            }
+            PipelinePlan {
+                ops,
+                crash_stage: if rng.gen_bool(0.6) {
+                    Some(rng.gen_range(0u64..8))
+                } else {
+                    None
+                },
+                crash_write: rng.gen(),
+            }
+        };
+
         Self {
             seed: dataset_seed,
             subdatasets,
@@ -213,6 +267,32 @@ impl Scenario {
             detection,
             max_retries: 3,
             ingest,
+            pipeline,
+        }
+    }
+
+    /// The scenario's pipeline spec: `Filter(target)`, then the drawn ops
+    /// (sub-dataset ranks and job selectors reduced modulo the live
+    /// ranges, so shrinking `subdatasets` keeps the spec well-formed),
+    /// then an `Output`.
+    pub fn pipeline_spec(&self) -> PipelineSpec {
+        let mut seq = vec![StageOp::Filter(self.target)];
+        for op in &self.pipeline.ops {
+            seq.push(match op {
+                PipeOp::Append(rank) => StageOp::Append(rank % self.subdatasets),
+                PipeOp::Join(rank) => StageOp::Join(rank % self.subdatasets),
+                PipeOp::Aggregate(job) => StageOp::Aggregate(match job % 4 {
+                    0 => AggJob::WordCount,
+                    1 => AggJob::MovingAverage(86_400),
+                    2 => AggJob::Histogram,
+                    _ => AggJob::TopK,
+                }),
+            });
+        }
+        seq.push(StageOp::Output("check".into()));
+        PipelineSpec {
+            name: "scenario-pipeline".into(),
+            seq,
         }
     }
 
@@ -316,6 +396,15 @@ mod tests {
             assert!(sc.ingest.gap_us > 0);
             if let Some(c) = sc.ingest.crash_commit {
                 assert!(c >= 1);
+            }
+            assert!(!sc.pipeline.ops.is_empty());
+            let spec = sc.pipeline_spec();
+            assert!(matches!(spec.seq[0], StageOp::Filter(_)));
+            assert!(spec.seq.len() == sc.pipeline.ops.len() + 2);
+            for op in &spec.seq {
+                if let Some(s) = op.subdataset() {
+                    assert!(s.0 < sc.subdatasets, "pipeline names a live sub-dataset");
+                }
             }
         }
     }

@@ -154,6 +154,20 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // Simpler pipeline: drop the mid-checkpoint crash, then shed stages
+    // from the back (the spec always keeps its leading filter and
+    // trailing output, so any prefix of the drawn ops is well-formed).
+    if sc.pipeline.crash_stage.is_some() {
+        let mut c = sc.clone();
+        c.pipeline.crash_stage = None;
+        push(c);
+    }
+    if !sc.pipeline.ops.is_empty() {
+        let mut c = sc.clone();
+        c.pipeline.ops.pop();
+        push(c);
+    }
+
     out
 }
 

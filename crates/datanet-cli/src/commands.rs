@@ -10,6 +10,10 @@ use datanet::{
 use datanet_analytics::profiles::{
     histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
 };
+use datanet_analytics::{
+    histogram_pipeline, join_word_count_pipeline, moving_average_pipeline, top_k_pipeline,
+    word_count_pipeline, Pipeline, PipelineEnv,
+};
 use datanet_bench::Table;
 use datanet_dfs::{DfsConfig, SubDatasetId, Topology};
 use datanet_mapreduce::{
@@ -84,6 +88,10 @@ USAGE:
   datanet simulate --dataset FILE --subdataset ID
               [--job movingaverage|wordcount|histogram|topk] [--alpha F]
               [--trace OUT.json]
+  datanet pipeline --dataset FILE --subdataset ID --ckpt DIR[,DIR...]
+              [--job wordcount|movingaverage|histogram|topk|join] [--with ID]
+              [--window-secs N] [--alpha F] [--resume] [--json OUT.json]
+              [--trace OUT.json]
   datanet trace TRACE.json
   datanet check [--seeds N] [--seed-start N] [--corpus FILE] [--shrink]
               [--repro-dir DIR]
@@ -108,6 +116,13 @@ against frozen pre-optimization reference implementations. `--json`
 writes the machine-readable report; `--baseline FILE` gates the measured
 speedups against a committed baseline and fails on regression.
 
+`datanet pipeline` runs one of the analysis jobs as a checkpointed
+multi-stage pipeline: every completed stage commits a checksummed,
+epoch-stamped checkpoint into the `--ckpt` replica directories under the
+crash-safe write order. After a crash, re-run with `--resume` to restore
+the last durable stage and execute only the remainder (`--job join`
+semi-joins `--subdataset` against `--with` before counting words).
+
 `datanet ingest` streams the dataset's blocks through the incremental
 ingestor instead of a batch scan: per-block summaries at write time,
 compaction every `--compact-every` arrivals, a durable epoch committed
@@ -131,6 +146,7 @@ pub fn dispatch(tokens: Vec<String>, out: &mut dyn Write) -> Result<(), CliError
         Some("plan") => cmd_plan(&args, out),
         Some("scrub") => cmd_scrub(&args, out),
         Some("simulate") => cmd_simulate(&args, out),
+        Some("pipeline") => cmd_pipeline(&args, out),
         Some("trace") => cmd_trace(&args, out),
         Some("check") => cmd_check(&args, out),
         Some("bench") => cmd_bench(&args, out),
@@ -511,6 +527,110 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             obs.stragglers.len(),
             obs.idlers.len()
         )?;
+    }
+    if let Some(path) = trace {
+        write_trace(&rec, &path, out)?;
+    }
+    Ok(())
+}
+
+/// `--ckpt` replica list for pipeline checkpoints (same comma syntax as
+/// `--meta`).
+fn ckpt_dirs(args: &Args) -> Result<Vec<PathBuf>, CliError> {
+    let dirs: Vec<PathBuf> = args
+        .require("ckpt")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+        .collect();
+    if dirs.is_empty() {
+        return Err(ArgError("--ckpt needs at least one directory".into()).into());
+    }
+    Ok(dirs)
+}
+
+/// `datanet pipeline` — run an analysis job as a checkpointed multi-stage
+/// pipeline: each completed stage commits a durable, checksummed
+/// checkpoint into the `--ckpt` replicas under the crash-safe write order;
+/// `--resume` restores the newest durable stage and executes only the
+/// remainder.
+fn cmd_pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
+    let id: u64 = args
+        .require("subdataset")?
+        .parse()
+        .map_err(|e| ArgError(format!("--subdataset: {e}")))?;
+    let s = SubDatasetId(id);
+    let alpha: f64 = args.get_or("alpha", 0.3)?;
+    let spec = match args.get("job").unwrap_or("wordcount") {
+        "wordcount" => word_count_pipeline(s),
+        "movingaverage" => moving_average_pipeline(s, args.get_or("window-secs", 86_400)?),
+        "histogram" => histogram_pipeline(s),
+        "topk" => top_k_pipeline(s),
+        "join" => {
+            let with: u64 = args
+                .require("with")?
+                .parse()
+                .map_err(|e| ArgError(format!("--with: {e}")))?;
+            join_word_count_pipeline(s, SubDatasetId(with))
+        }
+        other => return Err(ArgError(format!("unknown job `{other}`")).into()),
+    };
+    let dirs = ckpt_dirs(args)?;
+    let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
+    let dfs = ds.to_dfs();
+    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha));
+    let mut env = PipelineEnv::new(&dfs, &arr);
+    let (rec, trace) = recorder(args);
+    let pipe = Pipeline::new(spec);
+    let report = if args.flag("resume") {
+        pipe.resume(&mut env, &refs, &rec)?
+    } else {
+        pipe.run(&mut env, &refs, &rec)?
+    };
+    match report.resumed_from {
+        Some(k) => writeln!(
+            out,
+            "pipeline {}: resumed after durable stage {k}, {} of {} stage(s) re-executed",
+            report.pipeline,
+            report.stages.len(),
+            pipe.len()
+        )?,
+        None => writeln!(
+            out,
+            "pipeline {}: {} stage(s) executed from scratch",
+            report.pipeline,
+            report.stages.len()
+        )?,
+    }
+    for st in &report.stages {
+        writeln!(
+            out,
+            "  stage {} {}: {} -> {} record(s), {} aggregate(s), {:.3}s sim, \
+             checkpoint crc {:#010x}",
+            st.index,
+            st.label,
+            st.records_in,
+            st.records_out,
+            st.aggregates_out,
+            st.sim_secs,
+            st.checkpoint_crc
+        )?;
+    }
+    writeln!(
+        out,
+        "output: {} record(s), {} aggregate(s), digest {:#010x} — checkpoints \
+         in {} replica(s)",
+        report.output.records,
+        report.output.aggregates.len(),
+        report.output.digest,
+        dirs.len()
+    )?;
+    if let Some(path) = args.get("json") {
+        let bytes = serde_json::to_vec_pretty(&report)
+            .map_err(|e| ArgError(format!("cannot serialise report: {e}")))?;
+        std::fs::write(path, bytes)?;
+        writeln!(out, "wrote JSON report to {path}")?;
     }
     if let Some(path) = trace {
         write_trace(&rec, &path, out)?;
@@ -1041,6 +1161,65 @@ mod tests {
 
         let _ = std::fs::remove_file(&ds);
         let _ = std::fs::remove_dir_all(&meta);
+    }
+
+    #[test]
+    fn pipeline_runs_checkpoints_and_resumes() {
+        let ds = tmp("pipe-ds.json");
+        let ckpt_a = tmp("pipe-ckpt-a");
+        let ckpt_b = tmp("pipe-ckpt-b");
+        let json = tmp("pipe-report.json");
+        let _ = std::fs::remove_dir_all(&ckpt_a);
+        let _ = std::fs::remove_dir_all(&ckpt_b);
+        run(&format!(
+            "gen movies --records 20000 --nodes 8 --block-kb 64 --out {ds}"
+        ))
+        .unwrap();
+
+        let s = run(&format!(
+            "pipeline --dataset {ds} --subdataset 0 --ckpt {ckpt_a},{ckpt_b} --json {json}"
+        ))
+        .unwrap();
+        assert!(s.contains("executed from scratch"), "{s}");
+        assert!(s.contains("stage 0 filter(s=0)"), "{s}");
+        assert!(s.contains("output:"), "{s}");
+        assert!(s.contains("2 replica(s)"), "{s}");
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"digest\""), "{report}");
+
+        // Resuming over a fully-durable store re-executes nothing and
+        // reproduces the same output digest.
+        let digest = s
+            .split("digest ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_string();
+        let s = run(&format!(
+            "pipeline --dataset {ds} --subdataset 0 --ckpt {ckpt_a},{ckpt_b} --resume"
+        ))
+        .unwrap();
+        assert!(s.contains("resumed after durable stage"), "{s}");
+        assert!(s.contains(&digest), "{s}");
+
+        // The multi-stage join pipeline needs its right-hand side.
+        let err = run(&format!(
+            "pipeline --dataset {ds} --subdataset 0 --ckpt {ckpt_a} --job join"
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Args(_)), "{err}");
+        let s = run(&format!(
+            "pipeline --dataset {ds} --subdataset 0 --with 1 --ckpt {ckpt_a} --job join"
+        ))
+        .unwrap();
+        assert!(s.contains("join(s=1)"), "{s}");
+
+        let _ = std::fs::remove_file(&ds);
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_dir_all(&ckpt_a);
+        let _ = std::fs::remove_dir_all(&ckpt_b);
     }
 
     #[test]

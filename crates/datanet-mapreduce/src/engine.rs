@@ -23,7 +23,7 @@ use crate::job::JobProfile;
 use crate::report::{ExecutionReport, FaultStats, JobReport, SelectionOutcome};
 use crate::scheduler::{MapScheduler, ResilientScheduler};
 use datanet::store::MetaStore;
-use datanet::AggregationPlan;
+use datanet::{AggregationPlan, RetryBudget};
 use datanet_cluster::{
     suspicion_schedule_traced, DetectorConfig, EventQueue, FaultPlan, NodeSpec, SimCluster, SimTime,
 };
@@ -374,8 +374,9 @@ pub fn run_selection_faulty_traced(
     // Slot tokens parked because the scheduler had nothing left; a crash
     // that requeues work revives them.
     let mut parked = vec![0u32; m];
-    // Executions started per block (first run + retries).
-    let mut attempts = vec![0u32; dfs.block_count()];
+    // Executions started per block (first run + retries), capped by the
+    // shared retry budget (datanet::retry).
+    let mut budget = RetryBudget::new(dfs.block_count(), faults.max_retries);
     let mut first_crash: Option<SimTime> = None;
 
     let mut events: EventQueue<FaultEvent> = EventQueue::new();
@@ -442,7 +443,7 @@ pub fn run_selection_faulty_traced(
                 for b in casualties {
                     if dfs.surviving_replicas(b, &alive).is_empty() {
                         stats.unrecoverable_blocks.push(b);
-                    } else if attempts[b.index()] > faults.max_retries {
+                    } else if budget.exhausted(b.index()) {
                         stats.abandoned_blocks.push(b);
                     } else {
                         requeue.push(b);
@@ -510,11 +511,11 @@ pub fn run_selection_faulty_traced(
                     events.push(now, FaultEvent::Slot(node));
                     continue;
                 }
-                if attempts[block.index()] > 0 {
+                if budget.tried(block.index()) {
                     stats.reexecuted_tasks += 1;
                     stats.wasted_bytes_read += dfs.block(block).bytes();
                 }
-                attempts[block.index()] += 1;
+                let attempt = budget.record(block.index());
                 let dur = map_task_duration(
                     dfs,
                     block,
@@ -529,8 +530,8 @@ pub fn run_selection_faulty_traced(
                 let mut ctx = SpanCtx::default()
                     .node(node.index())
                     .block(block.index() as u64);
-                if attempts[block.index()] > 1 {
-                    ctx = ctx.note(format!("attempt {}", attempts[block.index()]));
+                if attempt > 1 {
+                    ctx = ctx.note(format!("attempt {attempt}"));
                 }
                 let span = rec.begin(Category::Task, "select", Domain::Sim, now.as_micros(), ctx);
                 rec.observe("task_us", dur.as_micros());

@@ -51,6 +51,9 @@ pub enum Category {
     /// Ingest compaction: folding pending deltas into the base array
     /// (wall clock).
     Compaction,
+    /// Pipeline stage checkpoint commit: payload + manifests replicated
+    /// under the crash-safe write order (wall clock).
+    Checkpoint,
 }
 
 impl Category {
@@ -67,6 +70,7 @@ impl Category {
             Category::Phase => "phase",
             Category::Ingest => "ingest",
             Category::Compaction => "compaction",
+            Category::Checkpoint => "checkpoint",
         }
     }
 }

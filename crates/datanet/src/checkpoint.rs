@@ -1,0 +1,354 @@
+//! Crash-safe pipeline checkpoints, replicated next to the MetaStore.
+//!
+//! The pipeline executor (`datanet-analytics`) persists one checkpoint per
+//! completed stage under the same write-order contract as streaming-ingest
+//! epochs ([`crate::ingest::CommitPlan`]):
+//!
+//! 1. the stage's **payload** (`stage-NNNN.json`, the serialized working
+//!    state, CRC-32 checksummed),
+//! 2. the **immutable per-stage manifest**
+//!    (`pipeline-manifest-eNNNN.json`, carrying
+//!    `last_completed_operation` + the payload CRC),
+//! 3. the **live manifest** (`pipeline.json`) — written LAST.
+//!
+//! Every file is written to every replica directory before the next file is
+//! started, so a crash after any prefix of the writes leaves the previous
+//! stage fully durable: the live manifest still points at it, and its
+//! payload + immutable manifest are untouched. [`CheckpointPlan::apply_prefix`]
+//! models mid-commit crashes exactly like `CommitPlan::apply_prefix` does
+//! for ingest epochs.
+
+use crate::store::{crc32, StoreError};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Checkpoint format version (independent of the MetaStore shard format).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Name of the live manifest — the commit point of every checkpoint.
+pub const LIVE_MANIFEST: &str = "pipeline.json";
+
+/// Payload file of stage `seq` (the serialized working state after it ran).
+pub fn payload_file(seq: u64) -> String {
+    format!("stage-{seq:04}.json")
+}
+
+/// Immutable manifest of stage `seq` (never rewritten once durable; the
+/// audit ledger for the checkpoint-monotonicity oracle).
+pub fn manifest_file(seq: u64) -> String {
+    format!("pipeline-manifest-e{seq:04}.json")
+}
+
+/// CRC-32 of a checkpoint payload (exposed so callers can fingerprint
+/// outputs with the same checksum the manifests carry).
+pub fn content_crc(bytes: &[u8]) -> u32 {
+    crc32(bytes)
+}
+
+/// Durable record of one completed pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    /// Pipeline this checkpoint belongs to (mismatch ⇒ refuse to resume).
+    pub pipeline: String,
+    /// Index of the last stage whose output is durable (0-based).
+    pub last_completed_operation: u64,
+    /// Human-readable stage label (`filter(s=3)`, `aggregate(WordCount)`…).
+    pub label: String,
+    /// CRC-32 of the stage payload file.
+    pub payload_crc: u32,
+    /// Checkpoint format version.
+    pub version: u32,
+}
+
+/// An ordered, replicated write plan for one stage checkpoint. Applying a
+/// strict prefix of the writes (a modeled crash) never corrupts the
+/// previous checkpoint; only a full application moves the live manifest.
+#[derive(Debug, Clone)]
+pub struct CheckpointPlan {
+    seq: u64,
+    manifest: CheckpointManifest,
+    writes: Vec<(String, Vec<u8>)>,
+}
+
+impl CheckpointPlan {
+    /// Plan the checkpoint for stage `seq` of `pipeline`, with the stage's
+    /// serialized working state as payload.
+    pub fn new(pipeline: &str, seq: u64, label: &str, payload: Vec<u8>) -> Self {
+        let manifest = CheckpointManifest {
+            pipeline: pipeline.to_string(),
+            last_completed_operation: seq,
+            label: label.to_string(),
+            payload_crc: crc32(&payload),
+            version: CHECKPOINT_VERSION,
+        };
+        let manifest_bytes = serde_json::to_vec_pretty(&manifest)
+            .expect("checkpoint manifest serialization is infallible");
+        let writes = vec![
+            (payload_file(seq), payload),
+            (manifest_file(seq), manifest_bytes.clone()),
+            (LIVE_MANIFEST.to_string(), manifest_bytes),
+        ];
+        Self {
+            seq,
+            manifest,
+            writes,
+        }
+    }
+
+    /// Stage index this plan commits.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The manifest that becomes live once the plan is fully applied.
+    pub fn manifest(&self) -> &CheckpointManifest {
+        &self.manifest
+    }
+
+    /// Number of ordered file writes in the plan (mirrors
+    /// [`crate::ingest::CommitPlan::writes`]).
+    pub fn writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Apply the full plan to every replica directory.
+    pub fn apply(&self, dirs: &[&Path]) -> Result<(), StoreError> {
+        self.apply_prefix(dirs, self.writes.len())
+    }
+
+    /// Apply only the first `n` writes — the crash-injection hook. Each file
+    /// lands on *every* replica before the next file is started, mirroring
+    /// the ingest contract.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the plan's write count.
+    pub fn apply_prefix(&self, dirs: &[&Path], n: usize) -> Result<(), StoreError> {
+        assert!(n <= self.writes.len(), "prefix exceeds plan");
+        for dir in dirs {
+            fs::create_dir_all(dir)?;
+        }
+        for (name, bytes) in &self.writes[..n] {
+            for dir in dirs {
+                fs::write(dir.join(name), bytes)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read the live manifest and its payload, failing over across replicas and
+/// verifying the payload CRC. `Ok(None)` means no checkpoint was ever
+/// committed (no replica has a live manifest) — the pipeline starts fresh,
+/// exactly like [`crate::ingest::Ingestor::resume`] on a store that crashed
+/// before its first commit.
+pub fn resume(dirs: &[&Path]) -> Result<Option<(CheckpointManifest, Vec<u8>)>, StoreError> {
+    if dirs.iter().all(|d| !d.join(LIVE_MANIFEST).exists()) {
+        return Ok(None);
+    }
+    let mut last = String::from("no replica tried");
+    for dir in dirs {
+        let manifest = match read_manifest(&dir.join(LIVE_MANIFEST)) {
+            Ok(m) => m,
+            Err(e) => {
+                last = format!("{}: {e}", dir.join(LIVE_MANIFEST).display());
+                continue;
+            }
+        };
+        let payload = payload_file(manifest.last_completed_operation);
+        for pdir in dirs {
+            match fs::read(pdir.join(&payload)) {
+                Ok(bytes) if crc32(&bytes) == manifest.payload_crc => {
+                    return Ok(Some((manifest, bytes)));
+                }
+                Ok(_) => {
+                    last = format!(
+                        "{}: payload checksum mismatch",
+                        pdir.join(&payload).display()
+                    );
+                }
+                Err(e) => last = format!("{}: {e}", pdir.join(&payload).display()),
+            }
+        }
+    }
+    Err(StoreError::Corrupt {
+        path: dirs
+            .first()
+            .map(|d| d.join(LIVE_MANIFEST))
+            .unwrap_or_default(),
+        detail: format!("no replica yields a consistent checkpoint: {last}"),
+    })
+}
+
+/// The durable audit ledger: every immutable per-stage manifest found on any
+/// replica, deduplicated and sorted by stage index. Used by the
+/// checkpoint-monotonicity oracle — after an uninterrupted or resumed run
+/// the ledger must be exactly `0..stages`, each CRC matching its payload.
+pub fn ledger(dirs: &[&Path]) -> Result<Vec<CheckpointManifest>, StoreError> {
+    let mut found: std::collections::BTreeMap<u64, CheckpointManifest> =
+        std::collections::BTreeMap::new();
+    for dir in dirs {
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("pipeline-manifest-e") || !name.ends_with(".json") {
+                continue;
+            }
+            let m = read_manifest(&entry.path())?;
+            found.entry(m.last_completed_operation).or_insert(m);
+        }
+    }
+    Ok(found.into_values().collect())
+}
+
+fn read_manifest(path: &Path) -> Result<CheckpointManifest, StoreError> {
+    let bytes = fs::read(path)?;
+    let m: CheckpointManifest =
+        serde_json::from_slice(&bytes).map_err(|e| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+    if m.version > CHECKPOINT_VERSION {
+        return Err(StoreError::FutureVersion {
+            found: m.version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdirs(name: &str, n: usize) -> Vec<PathBuf> {
+        (0..n)
+            .map(|i| {
+                let d = std::env::temp_dir().join(format!(
+                    "datanet-ckpt-{}-{}-{}",
+                    std::process::id(),
+                    name,
+                    i
+                ));
+                let _ = fs::remove_dir_all(&d);
+                fs::create_dir_all(&d).unwrap();
+                d
+            })
+            .collect()
+    }
+
+    fn refs(dirs: &[PathBuf]) -> Vec<&Path> {
+        dirs.iter().map(PathBuf::as_path).collect()
+    }
+
+    #[test]
+    fn fresh_dirs_resume_to_none() {
+        let dirs = tmpdirs("fresh", 2);
+        assert!(resume(&refs(&dirs)).unwrap().is_none());
+        for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn full_apply_then_resume_restores_payload() {
+        let dirs = tmpdirs("full", 2);
+        let plan = CheckpointPlan::new("demo", 0, "filter(s=1)", b"state-0".to_vec());
+        plan.apply(&refs(&dirs)).unwrap();
+        let (m, payload) = resume(&refs(&dirs)).unwrap().unwrap();
+        assert_eq!(m.last_completed_operation, 0);
+        assert_eq!(m.pipeline, "demo");
+        assert_eq!(payload, b"state-0");
+        for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn every_crash_prefix_leaves_previous_stage_durable() {
+        for prefix in 0..=3usize {
+            let dirs = tmpdirs(&format!("prefix{prefix}"), 2);
+            let r = refs(&dirs);
+            CheckpointPlan::new("demo", 0, "filter", b"state-0".to_vec())
+                .apply(&r)
+                .unwrap();
+            let plan1 = CheckpointPlan::new("demo", 1, "aggregate", b"state-1".to_vec());
+            assert_eq!(plan1.writes(), 3);
+            plan1.apply_prefix(&r, prefix).unwrap();
+            let (m, payload) = resume(&r).unwrap().unwrap();
+            if prefix == plan1.writes() {
+                assert_eq!(m.last_completed_operation, 1);
+                assert_eq!(payload, b"state-1");
+            } else {
+                assert_eq!(m.last_completed_operation, 0, "prefix {prefix}");
+                assert_eq!(payload, b"state-0");
+            }
+            for d in &dirs {
+                let _ = fs::remove_dir_all(d);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_over_to_healthy_replica() {
+        let dirs = tmpdirs("failover", 2);
+        let r = refs(&dirs);
+        CheckpointPlan::new("demo", 0, "filter", b"state-0".to_vec())
+            .apply(&r)
+            .unwrap();
+        fs::write(dirs[0].join(payload_file(0)), b"bitrot").unwrap();
+        let (_, payload) = resume(&r).unwrap().unwrap();
+        assert_eq!(payload, b"state-0");
+        // Both replicas corrupt: resume must error, not return bad bytes.
+        fs::write(dirs[1].join(payload_file(0)), b"bitrot").unwrap();
+        assert!(resume(&r).is_err());
+        for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn ledger_lists_stages_in_order_with_matching_crcs() {
+        let dirs = tmpdirs("ledger", 2);
+        let r = refs(&dirs);
+        for seq in 0..3u64 {
+            CheckpointPlan::new("demo", seq, "stage", format!("state-{seq}").into_bytes())
+                .apply(&r)
+                .unwrap();
+        }
+        let led = ledger(&r).unwrap();
+        assert_eq!(led.len(), 3);
+        for (i, m) in led.iter().enumerate() {
+            assert_eq!(m.last_completed_operation, i as u64);
+            let bytes = fs::read(dirs[0].join(payload_file(i as u64))).unwrap();
+            assert_eq!(crc32(&bytes), m.payload_crc);
+        }
+        for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let dirs = tmpdirs("future", 1);
+        let r = refs(&dirs);
+        let m = CheckpointManifest {
+            pipeline: "demo".into(),
+            last_completed_operation: 0,
+            label: "x".into(),
+            payload_crc: 0,
+            version: CHECKPOINT_VERSION + 1,
+        };
+        fs::write(dirs[0].join(LIVE_MANIFEST), serde_json::to_vec(&m).unwrap()).unwrap();
+        assert!(matches!(
+            resume(&r),
+            Err(StoreError::Corrupt { .. }) | Err(StoreError::FutureVersion { .. })
+        ));
+        let _ = fs::remove_dir_all(&dirs[0]);
+    }
+}

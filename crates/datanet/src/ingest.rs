@@ -273,10 +273,17 @@ impl Ingestor {
     /// re-feeds blocks with ids ≥ [`Ingestor::blocks`] (arrivals the crash
     /// swallowed).
     ///
+    /// A store that crashed *before its first commit* has no live manifest
+    /// on any replica — nothing was ever durable, so that is a fresh
+    /// epoch-0 ingest under the caller's `cfg`, not an error.
+    ///
     /// # Errors
     /// Whatever [`MetaStore::open_replicated`] or the shard/summary reads
     /// surface.
     pub fn resume(mut cfg: IngestConfig, dirs: &[&Path]) -> Result<Self, StoreError> {
+        if dirs.iter().all(|d| !d.join("manifest.json").exists()) {
+            return Ok(Self::new(cfg));
+        }
         let mut store = MetaStore::open_replicated(dirs, 2)?;
         let manifest = store.manifest().clone();
         cfg.policy = manifest.policy.clone();
@@ -795,6 +802,48 @@ mod tests {
             "resume lost equivalence with the batch build"
         );
         for d in &dirs {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn resume_before_first_commit_starts_fresh_epoch_zero_ingest() {
+        let dfs = sample_dfs();
+        let dirs = tmpdirs("resume-e0", 2);
+        let refs: Vec<&Path> = dirs.iter().map(|p| p.as_path()).collect();
+
+        // Crash after every strict prefix of the *first* commit's plan: no
+        // live manifest ever lands, so resume must hand back a fresh
+        // ingestor instead of erroring (regression: it used to surface
+        // MetaStore::open_replicated's missing-manifest error).
+        let mut ing = Ingestor::new(cfg());
+        for b in dfs.blocks() {
+            ing.append(b, 0);
+        }
+        let plan = ing.commit_plan().expect("there is growth to commit");
+        for n in 0..plan.writes() {
+            plan.apply_prefix(&refs, n).unwrap();
+            let resumed = Ingestor::resume(cfg(), &refs).unwrap();
+            assert_eq!(resumed.blocks(), 0, "prefix {n}: nothing was durable");
+            assert_eq!(resumed.durable_epoch(), 0);
+            assert_eq!(resumed.stats().resumed_blocks, 0);
+        }
+
+        // Entirely empty directories (not even data files) work too, and
+        // the fresh ingestor commits a normal epoch-1 snapshot.
+        let empty = tmpdirs("resume-e0-empty", 2);
+        let erefs: Vec<&Path> = empty.iter().map(|p| p.as_path()).collect();
+        let mut fresh = Ingestor::resume(cfg(), &erefs).unwrap();
+        for b in dfs.blocks() {
+            fresh.append(b, 0);
+        }
+        assert_eq!(fresh.commit(&erefs).unwrap(), 1);
+        let batch = ElasticMapArray::build(&dfs, &Separation::Alpha(0.35));
+        assert_eq!(
+            serde_json::to_string(&fresh.snapshot()).unwrap(),
+            serde_json::to_string(&batch).unwrap(),
+        );
+        for d in dirs.iter().chain(&empty) {
             let _ = fs::remove_dir_all(d);
         }
     }

@@ -42,12 +42,14 @@
 pub mod bipartite;
 pub mod bloom;
 pub mod buckets;
+pub mod checkpoint;
 pub mod degrade;
 pub mod distribution;
 pub mod elasticmap;
 pub mod ingest;
 pub mod memory;
 pub mod planner;
+pub mod retry;
 pub mod scan;
 pub mod store;
 pub mod symbol;
@@ -55,6 +57,7 @@ pub mod symbol;
 pub use bipartite::DistributionGraph;
 pub use bloom::BloomFilter;
 pub use buckets::{BucketCounter, Buckets};
+pub use checkpoint::{CheckpointManifest, CheckpointPlan};
 pub use degrade::{DegradedView, MetaHealth, Rung, RungCounts, ShardSource};
 pub use distribution::SubDatasetView;
 pub use elasticmap::{ElasticMap, Separation, SizeInfo};
@@ -65,8 +68,9 @@ pub use planner::{
     BalancePolicy, FordFulkersonPlanner,
 };
 pub use planner::{plan_balanced_batch, plan_maxflow_batch};
+pub use retry::{RetryBudget, RetryPolicy};
 pub use scan::ElasticMapArray;
-pub use store::{BlockSummary, Manifest, MetaStore, RetryPolicy, ScrubReport, StoreError};
+pub use store::{BlockSummary, Manifest, MetaStore, ScrubReport, StoreError};
 pub use symbol::{FastMap, FxBuildHasher, FxHasher64, Sym, SymbolTable};
 
 /// Common imports for downstream users.

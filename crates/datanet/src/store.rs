@@ -38,7 +38,6 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 
 /// Current on-disk format version. Version 1 (no checksums, no summaries)
 /// is still readable: CRC verification is skipped and every shard loss is
@@ -148,36 +147,10 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Bounded retry with exponential backoff for shard reads. The same replica
-/// is tried `attempts_per_replica` times (sleeping between attempts) before
-/// the read fails over to the next replica directory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Read attempts per replica (≥ 1).
-    pub attempts_per_replica: u32,
-    /// Sleep before the first same-replica retry, microseconds.
-    pub backoff_base_micros: u64,
-    /// Backoff growth per retry (exponential).
-    pub backoff_multiplier: u32,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        Self {
-            attempts_per_replica: 2,
-            backoff_base_micros: 50,
-            backoff_multiplier: 2,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// Backoff before retry number `retry` (1-based): `base · mult^(retry−1)`.
-    pub fn backoff(&self, retry: u32) -> Duration {
-        let factor = u64::from(self.backoff_multiplier).saturating_pow(retry.saturating_sub(1));
-        Duration::from_micros(self.backoff_base_micros.saturating_mul(factor))
-    }
-}
+// The retry/backoff policy moved to `datanet::retry` (it is shared with the
+// engine's re-execution budget and the pipeline checkpoint writer); this
+// re-export keeps the historical `datanet::store::RetryPolicy` path working.
+pub use crate::retry::RetryPolicy;
 
 /// Manifest describing a sharded meta-data directory.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -684,7 +657,10 @@ impl MetaStore {
                 if attempt > 0 {
                     self.health.retries += 1;
                     self.rec.add("meta_retries", 1);
-                    std::thread::sleep(self.retry.backoff(attempt));
+                    // Deterministic per-(shard, replica) jitter: concurrent
+                    // readers of different shards never sleep in lockstep.
+                    let seed = (shard as u64) << 8 | d as u64;
+                    std::thread::sleep(self.retry.backoff_jittered(attempt, seed));
                 }
                 let outcome = Self::try_read(dir, file, expect_crc)
                     .and_then(|bytes| decode(&bytes).map_err(ReadFail::Corrupt));
@@ -1193,18 +1169,6 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"a"), crc32(b"b"));
-    }
-
-    #[test]
-    fn retry_backoff_is_exponential() {
-        let r = RetryPolicy {
-            attempts_per_replica: 4,
-            backoff_base_micros: 100,
-            backoff_multiplier: 2,
-        };
-        assert_eq!(r.backoff(1), Duration::from_micros(100));
-        assert_eq!(r.backoff(2), Duration::from_micros(200));
-        assert_eq!(r.backoff(3), Duration::from_micros(400));
     }
 
     #[test]

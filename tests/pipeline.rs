@@ -1,15 +1,24 @@
 //! End-to-end integration: generate → store → scan → schedule → execute,
-//! asserting the paper's comparative claims hold in the reproduction.
+//! asserting the paper's comparative claims hold in the reproduction —
+//! plus the checkpointed pipeline executor's crash/resume properties.
 
-use datanet::{ElasticMapArray, Separation};
+use datanet::{checkpoint, ElasticMapArray, Separation};
 use datanet_analytics::profiles::{
     histogram_profile, moving_average_profile, top_k_profile, word_count_profile,
 };
+use datanet_analytics::{
+    join_word_count_pipeline, word_count_pipeline, CrashPoint, Pipeline, PipelineEnv,
+};
 use datanet_bench::{movie_dataset, NODES};
+use datanet_check::Scenario;
+use datanet_dfs::SubDatasetId;
 use datanet_mapreduce::{
     run_analysis, run_selection, AnalysisConfig, DataNetScheduler, LocalityScheduler,
     SelectionConfig,
 };
+use datanet_obs::Recorder;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Run selection under both schedulers once (shared by several tests).
 fn both_selections() -> (
@@ -117,6 +126,200 @@ fn shuffle_gap_shrinks_with_datanet() {
         "shuffle without {} vs with {}",
         jw.shuffle_summary().max(),
         jd.shuffle_summary().max()
+    );
+}
+
+/// Self-cleaning checkpoint replica directories for the pipeline tests.
+struct TmpDirs {
+    base: PathBuf,
+    dirs: Vec<PathBuf>,
+}
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl TmpDirs {
+    fn new(tag: &str, replicas: usize) -> Self {
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let base = std::env::temp_dir().join(format!(
+            "datanet-pipeline-{tag}-{}-{seq}",
+            std::process::id()
+        ));
+        let dirs = (0..replicas)
+            .map(|i| base.join(format!("replica-{i}")))
+            .collect();
+        Self { base, dirs }
+    }
+
+    fn paths(&self) -> Vec<&Path> {
+        self.dirs.iter().map(PathBuf::as_path).collect()
+    }
+}
+
+impl Drop for TmpDirs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.base);
+    }
+}
+
+/// Satellite property, integration level: for *every* stage of a
+/// multi-stage pipeline and *every* write prefix of that stage's
+/// checkpoint plan, a crash at that point leaves the previous stage
+/// durable, and `Pipeline::resume` reproduces the uninterrupted run's
+/// data product and checkpoint ledger exactly — including under scripted
+/// node crashes and degraded-cluster re-planning (seeded fault plans).
+#[test]
+fn crash_at_every_stage_and_write_prefix_resumes_exactly() {
+    for seed in [3u64, 9, 17] {
+        let sc = Scenario::from_seed(seed);
+        let dfs = sc.build_dfs();
+        let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(sc.alpha));
+        let other = SubDatasetId((sc.target + 1) % sc.subdatasets);
+        let pipe = Pipeline::new(join_word_count_pipeline(sc.target_id(), other));
+        let mk_env = || {
+            let mut env = PipelineEnv::new(&dfs, &arr);
+            env.faults = sc.has_faults().then(|| sc.fault_config());
+            env
+        };
+
+        let baseline_dirs = TmpDirs::new("baseline", 2);
+        let baseline = pipe
+            .run(&mut mk_env(), &baseline_dirs.paths(), &Recorder::off())
+            .expect("uninterrupted run");
+        let baseline_ledger = checkpoint::ledger(&baseline_dirs.paths()).expect("baseline ledger");
+        assert_eq!(baseline_ledger.len(), pipe.len());
+
+        for stage in 0..pipe.len() {
+            // Every checkpoint plan writes payload + stage manifest + live
+            // manifest; sweep every prefix including "all of them landed".
+            for prefix in 0..=3u64 {
+                let dirs = TmpDirs::new("crash", 2);
+                let int = pipe
+                    .run_interrupted(
+                        &mut mk_env(),
+                        &dirs.paths(),
+                        CrashPoint {
+                            stage,
+                            write_prefix: prefix,
+                        },
+                        &Recorder::off(),
+                    )
+                    .expect("interrupted run");
+                assert_eq!(int.crash_stage, stage);
+                assert_eq!(int.applied_writes, prefix as usize);
+
+                let resumed = pipe
+                    .resume(&mut mk_env(), &dirs.paths(), &Recorder::off())
+                    .expect("resume after crash");
+                let expected_from = if int.applied_writes == int.plan_writes {
+                    Some(stage as u64)
+                } else if stage > 0 {
+                    Some(stage as u64 - 1)
+                } else {
+                    None
+                };
+                assert_eq!(
+                    resumed.resumed_from, expected_from,
+                    "seed {seed}: crash {prefix}/3 writes into stage {stage}"
+                );
+                assert_eq!(
+                    resumed.data_fingerprint(),
+                    baseline.data_fingerprint(),
+                    "seed {seed}: crash {prefix}/3 writes into stage {stage} \
+                     changed the data product"
+                );
+                assert_eq!(
+                    checkpoint::ledger(&dirs.paths()).expect("resumed ledger"),
+                    baseline_ledger,
+                    "seed {seed}: crash {prefix}/3 writes into stage {stage} \
+                     changed the durable ledger"
+                );
+            }
+        }
+    }
+}
+
+/// Resume on a store with no durable checkpoint is a fresh run; resume on
+/// a fully-durable store re-executes nothing and keeps the output.
+#[test]
+fn resume_edges_fresh_store_and_complete_store() {
+    let sc = Scenario::from_seed(5);
+    let dfs = sc.build_dfs();
+    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(sc.alpha));
+    let pipe = Pipeline::new(word_count_pipeline(sc.target_id()));
+
+    let dirs = TmpDirs::new("edges", 2);
+    let mut env = PipelineEnv::new(&dfs, &arr);
+    let fresh = pipe
+        .resume(&mut env, &dirs.paths(), &Recorder::off())
+        .expect("resume on empty dirs runs fresh");
+    assert_eq!(fresh.resumed_from, None);
+    assert_eq!(fresh.stages.len(), pipe.len());
+
+    let again = pipe
+        .resume(&mut env, &dirs.paths(), &Recorder::off())
+        .expect("resume on a complete store");
+    assert_eq!(again.resumed_from, Some(pipe.len() as u64 - 1));
+    assert!(again.stages.is_empty(), "nothing left to re-execute");
+    assert_eq!(again.output, fresh.output);
+}
+
+/// A differently-named pipeline refuses another pipeline's checkpoints
+/// instead of silently resuming into the wrong computation.
+#[test]
+fn resume_rejects_a_foreign_pipeline_store() {
+    let sc = Scenario::from_seed(5);
+    let dfs = sc.build_dfs();
+    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(sc.alpha));
+    let dirs = TmpDirs::new("foreign", 2);
+    let mut env = PipelineEnv::new(&dfs, &arr);
+    Pipeline::new(word_count_pipeline(sc.target_id()))
+        .run(&mut env, &dirs.paths(), &Recorder::off())
+        .expect("word-count run");
+    let err = Pipeline::new(join_word_count_pipeline(
+        sc.target_id(),
+        SubDatasetId((sc.target + 1) % sc.subdatasets),
+    ))
+    .resume(&mut env, &dirs.paths(), &Recorder::off())
+    .expect_err("foreign checkpoints must be rejected");
+    assert!(format!("{err}").contains("word-count"), "{err}");
+}
+
+/// The movie-dataset word count runs as a checkpointed pipeline: the
+/// durable ledger is the full stage sequence and the traced run matches
+/// the untraced one on the data plane.
+#[test]
+fn movie_word_count_pipeline_checkpoints_and_traces() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3));
+    let pipe = Pipeline::new(word_count_pipeline(hot));
+    let dirs = TmpDirs::new("movies", 2);
+    let mut env = PipelineEnv::new(&dfs, &arr);
+    let off = pipe
+        .run(&mut env, &dirs.paths(), &Recorder::off())
+        .expect("untraced run");
+    assert!(off.stages.iter().all(|s| s.obs.is_none()));
+    assert!(off.output.aggregates.iter().any(|kv| kv.value > 0.0));
+
+    let ledger = checkpoint::ledger(&dirs.paths()).expect("ledger");
+    assert_eq!(ledger.len(), pipe.len());
+    for (k, m) in ledger.iter().enumerate() {
+        assert_eq!(m.last_completed_operation, k as u64);
+        assert_eq!(m.pipeline, "word-count");
+    }
+
+    let rec = Recorder::new();
+    let dirs2 = TmpDirs::new("movies-traced", 2);
+    let on = pipe
+        .run(&mut env, &dirs2.paths(), &rec)
+        .expect("traced run");
+    assert!(on.stages.iter().all(|s| s.obs.is_some()));
+    assert_eq!(on.data_fingerprint(), off.data_fingerprint());
+    let data = rec.take();
+    assert_eq!(data.unclosed_spans(), 0);
+    assert!(
+        data.spans.iter().any(|s| s.name == "commit"),
+        "checkpoint commits must appear on the observability plane"
     );
 }
 
