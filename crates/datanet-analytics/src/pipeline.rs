@@ -43,7 +43,7 @@ use datanet_mapreduce::{
     run_selection_traced, AnalysisConfig, DataNetScheduler, FaultConfig, FaultStats, JobProfile,
     MapScheduler, ResilientScheduler, SelectionConfig, SelectionOutcome,
 };
-use datanet_obs::{Category, Domain, ObsSummary, Recorder, SpanCtx};
+use datanet_obs::{Category, Domain, FlightKind, ObsSummary, Recorder, SpanCtx};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -595,13 +595,10 @@ impl Pipeline {
         for (i, op) in self.spec.seq.iter().enumerate().skip(start) {
             let label = op.label();
             // Per-stage recorder: the stage's ObsSummary must cover exactly
-            // this stage's spans, so each stage records into its own buffer
-            // (enabled iff the caller's recorder is).
-            let stage_rec = if rec.is_enabled() {
-                Recorder::new()
-            } else {
-                Recorder::off()
-            };
+            // this stage's spans, so each stage records into its own trace
+            // buffer (enabled iff the caller's recorder is) while sharing
+            // the run-wide metrics registry, flight ring and query scope.
+            let stage_rec = rec.fork_trace();
             let records_in = state.records.len() as u64;
             let mut input_bytes = 0u64;
             let mut unknown_blocks = 0u64;
@@ -710,6 +707,13 @@ impl Pipeline {
                     Ok(()) => break,
                     Err(_) if checkpoint_retries + 1 < env.retry.attempts_per_replica => {
                         checkpoint_retries += 1;
+                        rec.flight(
+                            FlightKind::Retry,
+                            Domain::Wall,
+                            rec.wall_us(),
+                            None,
+                            format!("checkpoint commit retry {checkpoint_retries} for stage {i} ({label})"),
+                        );
                         std::thread::sleep(
                             env.retry
                                 .backoff_jittered(checkpoint_retries, env.retry_seed ^ i as u64),

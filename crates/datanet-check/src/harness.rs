@@ -29,21 +29,27 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Makespan-order tolerance: the max-flow plan may exceed the greedy
-/// makespan by this factor (plus [`MAKESPAN_SLACK_TASKS`] task overheads).
-/// The plan minimises the *byte* bottleneck but is blind to per-task
-/// overhead and slot interleaving, so on small worlds a byte-optimal
-/// assignment can lose wall-clock time to task-count imbalance.
-/// Calibrated: worst observed ratio over seeds 0..600 is 1.0032 (see
+/// makespan by this factor (plus [`MAKESPAN_SLACK_TASKS`] task overheads
+/// and the task-count slack below). The plan minimises the *byte*
+/// bottleneck but is blind to per-task overhead, so on worlds of many
+/// light blocks a byte-optimal assignment piles tasks onto one node and
+/// loses wall-clock time to overhead the oracle prices separately: the
+/// plan's excess max-tasks-per-node over greedy's, charged at one
+/// `task_overhead` each (seed 2017 — 97 light blocks on 4 nodes, a 2×
+/// makespan from pure task-count imbalance — is exactly this shape).
+/// With that overhead cost accounted, the residual ratio measures byte
+/// scheduling quality alone. Calibrated: worst observed residual over
+/// seeds 0..600 and 1900..2100 is 0.8630 (seed 418; see
 /// `calibrate_makespan_tolerances`).
-pub const MAKESPAN_TOL_FF_VS_GREEDY: f64 = 1.15;
+pub const MAKESPAN_TOL_FF_VS_GREEDY: f64 = 1.05;
 
 /// Makespan-order tolerance: greedy may exceed the locality baseline by
 /// this factor. The baseline scans *every* block, so it almost always
 /// loses big; the slack only matters on worlds where the target
 /// sub-dataset covers nearly all blocks and remote balancing reads cost
 /// greedy more than the baseline's extra scans. Calibrated: worst
-/// observed ratio over seeds 0..600 is 0.8554.
-pub const MAKESPAN_TOL_GREEDY_VS_LOCALITY: f64 = 1.10;
+/// observed ratio over seeds 0..600 and 1900..2100 is 0.8554.
+pub const MAKESPAN_TOL_GREEDY_VS_LOCALITY: f64 = 1.05;
 
 /// Additive slack for the makespan-order oracles, in units of
 /// `SelectionConfig::task_overhead` (absorbs ±1-task granularity on
@@ -149,6 +155,20 @@ impl Drop for ReplicaDirs {
 
 /// Check one scenario with planted-bug options (self-test entry point).
 pub fn check_scenario_with(sc: &Scenario, opts: &CheckOptions) -> CheckOutcome {
+    check_scenario_instrumented(sc, opts, &Recorder::off())
+}
+
+/// [`check_scenario_with`] with an observability [`Recorder`] attached:
+/// the healthy engine runs record through it (metrics flow into any
+/// attached registry), and every oracle violation is appended to any
+/// attached flight ring — so a dump taken right after a failing check
+/// ends with the violations, preceded by the last significant events of
+/// the run that produced them.
+pub fn check_scenario_instrumented(
+    sc: &Scenario,
+    opts: &CheckOptions,
+    rec: &Recorder,
+) -> CheckOutcome {
     let mut v = Vec::new();
     let dfs = sc.build_dfs();
     let target = sc.target_id();
@@ -202,6 +222,7 @@ pub fn check_scenario_with(sc: &Scenario, opts: &CheckOptions) -> CheckOutcome {
     apply_corruption(sc, &dirs, shard_count);
     let degraded_unknown: HashSet<BlockId> = match MetaStore::open_replicated(&dirs.paths(), 4) {
         Ok(mut store) => {
+            store.set_recorder(rec.clone());
             let deg = store.view_degraded(target);
             let unknown: HashSet<BlockId> = deg.unknown_blocks().iter().copied().collect();
             eq6_oracles(&mut v, "degraded", deg.view(), &truth, &unknown);
@@ -248,33 +269,21 @@ pub fn check_scenario_with(sc: &Scenario, opts: &CheckOptions) -> CheckOutcome {
 
     // ---- healthy engine: all four schedulers -------------------------
     let cfg = SelectionConfig::default();
-    let loc = run_selection_traced(
-        &dfs,
-        &truth,
-        &mut LocalityScheduler::new(&dfs),
-        &cfg,
-        &Recorder::off(),
-    );
-    let del = run_selection_traced(
-        &dfs,
-        &truth,
-        &mut DelayScheduler::new(&dfs, 2),
-        &cfg,
-        &Recorder::off(),
-    );
+    let loc = run_selection_traced(&dfs, &truth, &mut LocalityScheduler::new(&dfs), &cfg, rec);
+    let del = run_selection_traced(&dfs, &truth, &mut DelayScheduler::new(&dfs, 2), &cfg, rec);
     let dn = run_selection_traced(
         &dfs,
         &truth,
         &mut DataNetScheduler::new(&dfs, &view),
         &cfg,
-        &Recorder::off(),
+        rec,
     );
     let ff = run_selection_traced(
         &dfs,
         &truth,
         &mut PlannedScheduler::new(&plan, dfs.namenode()),
         &cfg,
-        &Recorder::off(),
+        rec,
     );
     for out in [&loc, &del, &dn, &ff] {
         conservation_oracle(&mut v, "healthy-conservation", out, &truth, total);
@@ -354,6 +363,18 @@ pub fn check_scenario_with(sc: &Scenario, opts: &CheckOptions) -> CheckOutcome {
 
     // ---- streaming ingest: incremental ≡ rebuild at every prefix -----
     ingest_oracles(&mut v, sc, &dfs, &sep);
+
+    // Violations close out the flight ring: a dump taken now reads as
+    // "…recent events, then what the oracles concluded about them".
+    for violation in &v {
+        rec.flight(
+            datanet_obs::FlightKind::OracleViolation,
+            datanet_obs::Domain::Wall,
+            rec.wall_us(),
+            None,
+            format!("{}: {}", violation.oracle, violation.detail),
+        );
+    }
 
     CheckOutcome {
         violations: v,
@@ -654,6 +675,13 @@ fn traced_twin(
     off
 }
 
+/// How many more tasks `a`'s busiest node runs than `b`'s busiest node
+/// (0 when `a` is no more concentrated).
+fn excess_peak_tasks(a: &SelectionOutcome, b: &SelectionOutcome) -> usize {
+    let peak = |o: &SelectionOutcome| o.tasks_per_node.iter().copied().max().unwrap_or(0);
+    peak(a).saturating_sub(peak(b))
+}
+
 /// Makespan ordering (Section IV-B, Figures 5/10): max-flow ≲ greedy ≲
 /// locality baseline, with documented tolerances for per-task overhead.
 fn makespan_oracle(
@@ -669,7 +697,12 @@ fn makespan_oracle(
         dn.end.as_secs_f64(),
         ff.end.as_secs_f64(),
     );
-    if ff_end > dn_end * MAKESPAN_TOL_FF_VS_GREEDY + slack {
+    // The plan optimises the byte bottleneck and is blind to per-task
+    // overhead; charge its excess task concentration (vs greedy's) at
+    // one `task_overhead` per extra task on the busiest node, so the
+    // tolerance below measures byte scheduling quality alone.
+    let count_slack = cfg.task_overhead.as_secs_f64() * excess_peak_tasks(ff, dn) as f64;
+    if ff_end > dn_end * MAKESPAN_TOL_FF_VS_GREEDY + slack + count_slack {
         v.push(Violation::new(
             "makespan-order",
             format!("max-flow makespan {ff_end:.4}s ≫ greedy {dn_end:.4}s"),
@@ -1268,7 +1301,9 @@ mod tests {
     use super::*;
 
     /// Tolerance calibration sweep: prints the worst observed makespan
-    /// ratios and any violations over a wide seed range. Run with
+    /// ratios (net of the same slacks the oracle grants) and any
+    /// violations over a wide seed range, including the 1900..2100
+    /// family where seed 2017's light-block worlds live. Run with
     /// `cargo test -p datanet-check --release -- --ignored calibrate`
     /// when re-tuning `MAKESPAN_TOL_*`.
     #[test]
@@ -1277,7 +1312,7 @@ mod tests {
         let mut worst_ff = (0.0f64, 0u64);
         let mut worst_dn = (0.0f64, 0u64);
         let mut failures = Vec::new();
-        for seed in 0..600u64 {
+        for seed in (0..600u64).chain(1900..2100) {
             let sc = Scenario::from_seed(seed);
             let dfs = sc.build_dfs();
             let target = sc.target_id();
@@ -1308,7 +1343,8 @@ mod tests {
                 &Recorder::off(),
             );
             let slack = cfg.task_overhead.as_secs_f64() * MAKESPAN_SLACK_TASKS;
-            let r_ff = ff.end.as_secs_f64() / (dn.end.as_secs_f64() + slack);
+            let count_slack = cfg.task_overhead.as_secs_f64() * excess_peak_tasks(&ff, &dn) as f64;
+            let r_ff = ff.end.as_secs_f64() / (dn.end.as_secs_f64() + slack + count_slack);
             let r_dn = dn.end.as_secs_f64() / (loc.end.as_secs_f64() + slack);
             if r_ff > worst_ff.0 {
                 worst_ff = (r_ff, seed);

@@ -39,7 +39,10 @@ pub mod repro;
 pub mod scenario;
 pub mod shrink;
 
-pub use harness::{check_scenario, check_scenario_with, CheckOptions, CheckOutcome, Violation};
+pub use harness::{
+    check_scenario, check_scenario_instrumented, check_scenario_with, CheckOptions, CheckOutcome,
+    Violation,
+};
 pub use repro::Repro;
 pub use scenario::{Corruption, CrashEvent, IngestPlan, NicEvent, Scenario, SlowEvent};
 pub use shrink::{shrink, Shrunk};

@@ -8,7 +8,8 @@
 
 use crate::harness::{check_scenario_with, CheckOptions, CheckOutcome, Violation};
 use crate::scenario::Scenario;
-use serde::{Deserialize, Serialize};
+use datanet_obs::FlightDump;
+use serde::{Deserialize, Serialize, Value};
 use std::io;
 use std::path::Path;
 
@@ -24,6 +25,11 @@ pub struct Repro {
     pub options: CheckOptions,
     /// The violations observed when the repro was written.
     pub violations: Vec<Violation>,
+    /// Flight-recorder dump of the shrunk failing run ([`FlightDump`] as
+    /// a JSON tree; `Null` when no ring was attached) — the last
+    /// significant events before the violations, preserved alongside the
+    /// world that produced them.
+    pub flight: Value,
 }
 
 impl Repro {
@@ -51,6 +57,11 @@ impl Repro {
     pub fn replay(&self) -> CheckOutcome {
         check_scenario_with(&self.scenario, &self.options)
     }
+
+    /// The embedded flight dump, if one was recorded.
+    pub fn flight_dump(&self) -> Option<FlightDump> {
+        FlightDump::from_value(&self.flight)
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +70,17 @@ mod tests {
 
     #[test]
     fn repro_roundtrips_through_disk() {
+        let mut ring = datanet_obs::FlightRing::new(4);
+        ring.push(datanet_obs::FlightEvent {
+            seq: 0,
+            kind: datanet_obs::FlightKind::OracleViolation,
+            domain: datanet_obs::Domain::Wall,
+            at_us: 42,
+            node: None,
+            query: None,
+            tenant: None,
+            detail: "greedy-conservation: credited 1 byte too many".into(),
+        });
         let repro = Repro {
             original_seed: 9,
             scenario: Scenario::from_seed(9),
@@ -67,6 +89,7 @@ mod tests {
                 oracle: "greedy-conservation".into(),
                 detail: "credited 1 byte too many".into(),
             }],
+            flight: ring.dump().to_value(),
         };
         let path = std::env::temp_dir().join(format!(
             "datanet-check-repro-test-{}.json",
@@ -76,5 +99,8 @@ mod tests {
         let back = Repro::load(&path).unwrap();
         std::fs::remove_file(&path).unwrap();
         assert_eq!(back, repro);
+        let dump = back.flight_dump().expect("flight dump embedded");
+        assert_eq!(dump.events.len(), 1);
+        assert!(dump.events[0].detail.contains("greedy-conservation"));
     }
 }

@@ -93,6 +93,7 @@ USAGE:
               [--window-secs N] [--alpha F] [--resume] [--json OUT.json]
               [--trace OUT.json]
   datanet trace TRACE.json
+  datanet top SNAPSHOT.json [--flight FLIGHT.json]
   datanet check [--seeds N] [--seed-start N] [--corpus FILE] [--shrink]
               [--repro-dir DIR]
   datanet check --repro FILE
@@ -102,6 +103,19 @@ USAGE:
 `--trace OUT.json` records the run on the observability plane and writes a
 Chrome trace_event file, loadable at https://ui.perfetto.dev. `datanet
 trace` prints a terminal summary of such a file.
+
+Every command that takes `--trace` also takes the always-on metrics plane
+flags: `--metrics OUT.json` freezes the windowed metrics registry into a
+snapshot (`.jsonl` for the line-per-series export), `--openmetrics
+OUT.txt` writes the Prometheus/OpenMetrics exposition of the same
+snapshot, `--metrics-window-ms N` sets the aggregation window (default
+1000), `--flight OUT.json` dumps the bounded flight recorder (last
+`--flight-events` significant events, default 256), and `--query-id N`
+[`--tenant NAME`] stamps a causal query id on every recorded event.
+`datanet top SNAPSHOT.json` renders a terminal dashboard from a metrics
+snapshot: per-node utilisation, per-query latency percentiles,
+retry/failover pressure, and EWMA anomaly alerts (add `--flight` for the
+degradation-rung mix and recent significant events).
 
 `datanet check` runs the deterministic simulation harness: each seed
 expands into a full scenario (workload, cluster, faults, metadata
@@ -148,6 +162,7 @@ pub fn dispatch(tokens: Vec<String>, out: &mut dyn Write) -> Result<(), CliError
         Some("simulate") => cmd_simulate(&args, out),
         Some("pipeline") => cmd_pipeline(&args, out),
         Some("trace") => cmd_trace(&args, out),
+        Some("top") => cmd_top(&args, out),
         Some("check") => cmd_check(&args, out),
         Some("bench") => cmd_bench(&args, out),
         Some("help") | None => {
@@ -239,13 +254,111 @@ fn open_store(args: &Args, cache_shards: usize) -> Result<MetaStore, CliError> {
     Ok(MetaStore::open_replicated(&refs, cache_shards)?)
 }
 
-/// `--trace OUT.json` turns the observability recorder on; otherwise every
-/// traced call degrades to its untraced twin.
-fn recorder(args: &Args) -> (Recorder, Option<PathBuf>) {
-    match args.get("trace") {
-        Some(path) => (Recorder::new(), Some(PathBuf::from(path))),
-        None => (Recorder::off(), None),
+/// Where the observability planes requested on the command line should be
+/// written when the command finishes.
+struct ObsOutputs {
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    openmetrics: Option<PathBuf>,
+    flight: Option<PathBuf>,
+}
+
+impl ObsOutputs {
+    /// Drain every requested plane of `rec` to its output file.
+    fn finish(&self, rec: &Recorder, out: &mut dyn Write) -> Result<(), CliError> {
+        if let Some(path) = &self.trace {
+            write_trace(rec, path, out)?;
+        }
+        if self.metrics.is_some() || self.openmetrics.is_some() {
+            let snap = rec.metrics_snapshot().expect("metrics plane attached");
+            if let Some(path) = &self.metrics {
+                // `.jsonl` gets the line-per-series export; anything else
+                // the snapshot document `datanet top` reads.
+                let body = if path.extension().is_some_and(|e| e == "jsonl") {
+                    datanet_obs::to_jsonl(&snap)
+                } else {
+                    serde_json::to_string_pretty(&snap)
+                        .map_err(|e| ArgError(format!("cannot serialise snapshot: {e}")))?
+                };
+                std::fs::write(path, body)?;
+                writeln!(
+                    out,
+                    "wrote metrics snapshot to {} ({} series) — inspect with `datanet top`",
+                    path.display(),
+                    snap.counters.len() + snap.hists.len() + snap.gauges.len()
+                )?;
+            }
+            if let Some(path) = &self.openmetrics {
+                std::fs::write(path, datanet_obs::to_openmetrics(&snap))?;
+                writeln!(out, "wrote OpenMetrics exposition to {}", path.display())?;
+            }
+        }
+        if let Some(path) = &self.flight {
+            let dump = rec.flight_dump().expect("flight plane attached");
+            let json = serde_json::to_string_pretty(&dump)
+                .map_err(|e| ArgError(format!("cannot serialise flight dump: {e}")))?;
+            std::fs::write(path, json)?;
+            writeln!(
+                out,
+                "wrote flight dump to {} ({} of {} event(s) kept)",
+                path.display(),
+                dump.events.len(),
+                dump.recorded
+            )?;
+        }
+        Ok(())
     }
+}
+
+/// Default flight-ring capacity for `--flight` without `--flight-events`.
+const FLIGHT_CAPACITY: usize = 256;
+
+/// Assemble the observability recorder from the shared flags:
+/// `--trace OUT.json` (unbounded Chrome trace), `--metrics OUT.json[l]`
+/// plus `--openmetrics OUT.txt` (windowed aggregates,
+/// `--metrics-window-ms` wide), `--flight OUT.json` (last
+/// `--flight-events` significant events), and `--query-id N` /
+/// `--tenant NAME` (stamp a causal query scope on every event recorded).
+/// With none of them every instrumented call degrades to its no-op twin.
+fn recorder(args: &Args) -> Result<(Recorder, ObsOutputs), CliError> {
+    let outputs = ObsOutputs {
+        trace: args.get("trace").map(PathBuf::from),
+        metrics: args.get("metrics").map(PathBuf::from),
+        openmetrics: args.get("openmetrics").map(PathBuf::from),
+        flight: args.get("flight").map(PathBuf::from),
+    };
+    let mut rec = if outputs.trace.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::off()
+    };
+    if outputs.metrics.is_some() || outputs.openmetrics.is_some() {
+        let window_ms: u64 = args.get_or("metrics-window-ms", 1_000)?;
+        if window_ms == 0 {
+            return Err(ArgError("--metrics-window-ms must be positive".into()).into());
+        }
+        rec = rec.with_metrics(window_ms * 1_000);
+    }
+    if outputs.flight.is_some() {
+        let cap: usize = args.get_or("flight-events", FLIGHT_CAPACITY)?;
+        if cap == 0 {
+            return Err(ArgError("--flight-events must be positive".into()).into());
+        }
+        rec = rec.with_flight(cap);
+    }
+    if let Some(q) = args.get("query-id") {
+        let id: u64 = q
+            .parse()
+            .map_err(|e| ArgError(format!("--query-id: {e}")))?;
+        let mut ctx = datanet_obs::QueryCtx::new(id);
+        if let Some(t) = args.get("tenant") {
+            ctx = ctx.tenant(t);
+        }
+        rec = rec.scoped(ctx);
+    } else if let Some(t) = args.get("tenant") {
+        return Err(ArgError(format!("--tenant {t} needs --query-id")).into());
+    }
+    Ok((rec, outputs))
 }
 
 /// Drain the recorder into a Chrome `trace_event` file and tell the user
@@ -270,7 +383,7 @@ fn cmd_scan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let alpha: f64 = args.get_or("alpha", 0.3)?;
     let shard_blocks: usize = args.get_or("shard-blocks", 64)?;
     let dfs = ds.to_dfs();
-    let (rec, trace) = recorder(args);
+    let (rec, obs) = recorder(args)?;
     let arr = ElasticMapArray::build_traced(&dfs, &Separation::Alpha(alpha), &rec);
     let dirs = meta_dirs(args)?;
     let refs: Vec<&Path> = dirs.iter().map(|d| d.as_path()).collect();
@@ -286,9 +399,7 @@ fn cmd_scan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         dirs.len(),
         arr.accuracy(&dfs) * 100.0
     )?;
-    if let Some(path) = trace {
-        write_trace(&rec, &path, out)?;
-    }
+    obs.finish(&rec, out)?;
     Ok(())
 }
 
@@ -339,7 +450,7 @@ fn cmd_ingest(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         compact_every,
         shard_blocks,
     };
-    let (rec, trace) = recorder(args);
+    let (rec, obs) = recorder(args)?;
     let dfs = ds.to_dfs();
     let mut ing = if args.flag("resume") {
         Ingestor::resume(cfg, &refs)?
@@ -375,9 +486,7 @@ fn cmd_ingest(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
          — durable epoch {epoch}; time-travel with `datanet query --epoch E`",
         st.compactions, st.redominated, st.epochs_committed
     )?;
-    if let Some(path) = trace {
-        write_trace(&rec, &path, out)?;
-    }
+    obs.finish(&rec, out)?;
     Ok(())
 }
 
@@ -392,7 +501,7 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             MetaStore::open_replicated_at_epoch(&refs, epoch, 4)?
         }
     };
-    let (rec, trace) = recorder(args);
+    let (rec, obs) = recorder(args)?;
     store.set_recorder(rec.clone());
     let id: u64 = args
         .require("subdataset")?
@@ -416,16 +525,14 @@ fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         dfs.subdataset_total(s),
         view.delta()
     )?;
-    if let Some(path) = trace {
-        write_trace(&rec, &path, out)?;
-    }
+    obs.finish(&rec, out)?;
     Ok(())
 }
 
 fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
     let mut store = open_store(args, 4)?;
-    let (rec, trace) = recorder(args);
+    let (rec, obs) = recorder(args)?;
     store.set_recorder(rec.clone());
     let id: u64 = args
         .require("subdataset")?
@@ -455,9 +562,7 @@ fn cmd_plan(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             plan.workloads()[n]
         )?;
     }
-    if let Some(path) = trace {
-        write_trace(&rec, &path, out)?;
-    }
+    obs.finish(&rec, out)?;
     Ok(())
 }
 
@@ -486,7 +591,7 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     // Only the DataNet side of the comparison is traced: it is the run the
     // user wants a timeline of, and the baseline stays untouched.
-    let (rec, trace) = recorder(args);
+    let (rec, obs) = recorder(args)?;
     let mut base = LocalityScheduler::new(&dfs);
     let without = run_pipeline(&dfs, s, &mut base, &job, &sel, &ana);
     let view = ElasticMapArray::build_traced(&dfs, &Separation::Alpha(alpha), &rec).view(s);
@@ -528,9 +633,7 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             obs.idlers.len()
         )?;
     }
-    if let Some(path) = trace {
-        write_trace(&rec, &path, out)?;
-    }
+    obs.finish(&rec, out)?;
     Ok(())
 }
 
@@ -581,7 +684,7 @@ fn cmd_pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let dfs = ds.to_dfs();
     let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha));
     let mut env = PipelineEnv::new(&dfs, &arr);
-    let (rec, trace) = recorder(args);
+    let (rec, obs) = recorder(args)?;
     let pipe = Pipeline::new(spec);
     let report = if args.flag("resume") {
         pipe.resume(&mut env, &refs, &rec)?
@@ -632,9 +735,7 @@ fn cmd_pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         std::fs::write(path, bytes)?;
         writeln!(out, "wrote JSON report to {path}")?;
     }
-    if let Some(path) = trace {
-        write_trace(&rec, &path, out)?;
-    }
+    obs.finish(&rec, out)?;
     Ok(())
 }
 
@@ -643,7 +744,7 @@ fn cmd_pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// scenario, check every invariant oracle, optionally shrink failures to
 /// minimal repro files.
 fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    use datanet_check::{check_seed, shrink, CheckOptions, Repro, Scenario};
+    use datanet_check::{check_scenario_instrumented, shrink, CheckOptions, Repro, Scenario};
 
     // Replay mode: a repro file is the whole input.
     if let Some(path) = args.get("repro") {
@@ -665,6 +766,18 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         )?;
         for v in &outcome.violations {
             writeln!(out, "  {v}")?;
+        }
+        if let Some(dump) = repro.flight_dump() {
+            writeln!(
+                out,
+                "embedded flight recording: {} event(s) from the shrunk failing run \
+                 (last: {})",
+                dump.events.len(),
+                dump.events
+                    .last()
+                    .map(|e| format!("{} — {}", e.kind.as_str(), e.detail))
+                    .unwrap_or_else(|| "none".into())
+            )?;
         }
         let mut oracles: Vec<String> = outcome.oracle_names().into_iter().collect();
         oracles.sort();
@@ -700,9 +813,13 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let do_shrink = args.flag("shrink");
     let repro_dir = PathBuf::from(args.get("repro-dir").unwrap_or("."));
+    // `--metrics`/`--openmetrics`/`--flight` meter the whole seed sweep;
+    // the snapshot/dump covers every scenario checked.
+    let (rec, obs) = recorder(args)?;
     let mut failed = 0usize;
     for &seed in &seeds {
-        let (_, outcome) = check_seed(seed);
+        let outcome =
+            check_scenario_instrumented(&Scenario::from_seed(seed), &CheckOptions::default(), &rec);
         if outcome.passed() {
             continue;
         }
@@ -722,11 +839,21 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             if let Some(min) = shrink(&sc, &CheckOptions::default()) {
                 std::fs::create_dir_all(&repro_dir)?;
                 let path = repro_dir.join(format!("repro-seed-{seed}.json"));
+                // One instrumented re-run of the *shrunk* scenario, so
+                // the repro carries the flight recording of the minimal
+                // failing world (not the original large one).
+                let frec = Recorder::off().with_flight(FLIGHT_CAPACITY);
+                check_scenario_instrumented(&min.scenario, &CheckOptions::default(), &frec);
+                let flight = frec
+                    .flight_dump()
+                    .map(|d| d.to_value())
+                    .unwrap_or(Value::Null);
                 Repro {
                     original_seed: seed,
                     scenario: min.scenario,
                     options: CheckOptions::default(),
                     violations: min.outcome.violations.clone(),
+                    flight,
                 }
                 .save(&path)?;
                 writeln!(
@@ -739,6 +866,9 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
     }
+    // Write the observability outputs before deciding the exit path: a
+    // failing sweep is exactly when the flight dump matters most.
+    obs.finish(&rec, out)?;
     if failed > 0 {
         return Err(CliError::Check(format!(
             "{failed} of {} seed(s) violated invariants",
@@ -895,6 +1025,211 @@ fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             " — BROKEN TRACE"
         }
     )?;
+    Ok(())
+}
+
+/// The value of one label inside a canonical series key, e.g.
+/// `label_of("spans{cat=\"task\",query=\"7\"}", "query")` → `Some("7")`.
+/// Dashboard-grade parsing: escaped quotes inside label values are rare
+/// enough in practice that the first `"` terminates the value.
+fn label_of(series: &str, label: &str) -> Option<String> {
+    let needle = format!("{label}=\"");
+    let labels = series.find('{').map(|i| &series[i..])?;
+    let start = labels.find(&needle)? + needle.len();
+    let rest = &labels[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// A 20-cell utilisation bar for the dashboard.
+fn util_bar(fraction: f64) -> String {
+    let cells = (fraction.clamp(0.0, 1.0) * 20.0).round() as usize;
+    format!("[{}{}]", "#".repeat(cells), ".".repeat(20 - cells))
+}
+
+/// `datanet top SNAPSHOT.json` — terminal dashboard over a metrics
+/// snapshot written by `--metrics`: per-node utilisation, per-query span
+/// counts and latency percentiles, retry/failover pressure, EWMA anomaly
+/// alerts, and (with `--flight FLIGHT.json`) the degradation-rung mix and
+/// the last significant events.
+fn cmd_top(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use datanet_obs::{detect_anomalies, split_series, FlightDump, MetricsSnapshot};
+
+    let path = args.require_positional(1, "SNAPSHOT.json")?;
+    let raw = std::fs::read_to_string(path)?;
+    let snap: MetricsSnapshot = serde_json::from_str(&raw)
+        .map_err(|e| ArgError(format!("{path}: not a metrics snapshot: {e}")))?;
+
+    // The simulated horizon: the end of the latest window any series
+    // touched (utilisation denominators need *some* notion of "the run").
+    let horizon_us = snap
+        .windowed
+        .values()
+        .flat_map(|w| w.iter().map(|&(start, _)| start + snap.window_us))
+        .chain(
+            snap.win_hists
+                .values()
+                .flat_map(|w| w.iter().map(|(start, _)| *start + snap.window_us)),
+        )
+        .max()
+        .unwrap_or(0);
+    writeln!(
+        out,
+        "datanet top — window {} ms, horizon {:.3} s, {} series",
+        snap.window_us / 1_000,
+        horizon_us as f64 / 1e6,
+        snap.counters.len() + snap.hists.len() + snap.gauges.len()
+    )?;
+
+    // ---- per-node utilisation ----------------------------------------
+    let mut busy: Vec<(String, u64)> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| split_series(k).0 == "node_busy_us")
+        .filter_map(|(k, &v)| label_of(k, "node").map(|n| (n, v)))
+        .collect();
+    // Node labels are numeric strings; sort numerically so node 10
+    // lands after node 2, not after node 1.
+    busy.sort_by_key(|(n, _)| n.parse::<u64>().unwrap_or(u64::MAX));
+    if !busy.is_empty() && horizon_us > 0 {
+        writeln!(out, "\nnode utilisation (busy / horizon):")?;
+        for (node, busy_us) in &busy {
+            let f = *busy_us as f64 / horizon_us as f64;
+            writeln!(
+                out,
+                "  node {node:>3} {} {:5.1}% ({:.3}s busy)",
+                util_bar(f),
+                f * 100.0,
+                *busy_us as f64 / 1e6
+            )?;
+        }
+    }
+
+    // ---- per-query latency -------------------------------------------
+    // Group sim-clock span histograms by (query, tenant); unscoped spans
+    // fall into the "-" row.
+    let mut queries: std::collections::BTreeMap<(String, String), (u64, u64, u64, u64)> =
+        Default::default();
+    for (key, h) in &snap.hists {
+        if split_series(key).0 != "span_us" || label_of(key, "clock").as_deref() != Some("sim") {
+            continue;
+        }
+        let q = label_of(key, "query").unwrap_or_else(|| "-".into());
+        let t = label_of(key, "tenant").unwrap_or_else(|| "-".into());
+        let e = queries.entry((q, t)).or_insert((0, 0, 0, 0));
+        e.0 += h.count;
+        e.1 += h.sum;
+        e.2 = e.2.max(h.p95);
+        e.3 = e.3.max(h.p99);
+    }
+    if !queries.is_empty() {
+        writeln!(out)?;
+        let mut t = Table::new(["query", "tenant", "spans", "total ms", "p95 ms", "p99 ms"]);
+        for ((q, tenant), (count, sum, p95, p99)) in &queries {
+            t.row([
+                q.clone(),
+                tenant.clone(),
+                count.to_string(),
+                format!("{:.3}", *sum as f64 / 1e3),
+                format!("{:.3}", *p95 as f64 / 1e3),
+                format!("{:.3}", *p99 as f64 / 1e3),
+            ]);
+        }
+        write!(out, "{}", t.render())?;
+    }
+
+    // ---- retry / failover pressure -----------------------------------
+    let pressure: Vec<(&str, u64)> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            matches!(
+                split_series(k).0,
+                "meta_retries" | "meta_failovers" | "tasks_retried"
+            )
+        })
+        .map(|(k, &v)| (k.as_str(), v))
+        .collect();
+    let replans: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            split_series(k).0 == "events" && label_of(k, "cat").as_deref() == Some("replan")
+        })
+        .map(|(_, &v)| v)
+        .sum();
+    if !pressure.is_empty() || replans > 0 {
+        writeln!(out, "\nretry/backoff pressure:")?;
+        for (k, v) in &pressure {
+            writeln!(out, "  {k}: {v}")?;
+        }
+        if replans > 0 {
+            writeln!(out, "  replans: {replans}")?;
+        }
+    }
+
+    // ---- EWMA anomaly alerts -----------------------------------------
+    let alerts = detect_anomalies(&snap);
+    if alerts.is_empty() {
+        writeln!(
+            out,
+            "\nno anomalies: every windowed series within EWMA bounds"
+        )?;
+    } else {
+        writeln!(out, "\nALERTS ({}):", alerts.len())?;
+        for a in &alerts {
+            writeln!(
+                out,
+                "  {} @ window {}ms: {:.0} vs EWMA {:.1} ({:.1}x)",
+                a.series,
+                a.window_us / 1_000,
+                a.value,
+                a.ewma,
+                a.ratio
+            )?;
+        }
+    }
+
+    // ---- flight recorder ---------------------------------------------
+    if let Some(fp) = args.get("flight") {
+        let raw = std::fs::read_to_string(fp)?;
+        let dump: FlightDump = serde_json::from_str(&raw)
+            .map_err(|e| ArgError(format!("{fp}: not a flight dump: {e}")))?;
+        let mut kinds: std::collections::BTreeMap<&str, u64> = Default::default();
+        for e in &dump.events {
+            *kinds.entry(e.kind.as_str()).or_insert(0) += 1;
+        }
+        writeln!(
+            out,
+            "\nflight recorder: {} of {} event(s) kept ({} dropped)",
+            dump.events.len(),
+            dump.recorded,
+            dump.dropped
+        )?;
+        for (kind, n) in &kinds {
+            writeln!(out, "  {kind}: {n}")?;
+        }
+        let rungs = dump
+            .events
+            .iter()
+            .filter(|e| e.kind == datanet_obs::FlightKind::RungChange)
+            .count();
+        if rungs > 0 {
+            writeln!(out, "degradation-rung changes ({rungs}):")?;
+            for e in dump
+                .events
+                .iter()
+                .filter(|e| e.kind == datanet_obs::FlightKind::RungChange)
+                .rev()
+                .take(5)
+            {
+                writeln!(out, "  seq {}: {}", e.seq, e.detail)?;
+            }
+        }
+        if let Some(last) = dump.events.last() {
+            writeln!(out, "last event: {} — {}", last.kind.as_str(), last.detail)?;
+        }
+    }
     Ok(())
 }
 
@@ -1115,6 +1450,7 @@ mod tests {
             scenario: min.scenario,
             options: opts,
             violations: min.outcome.violations,
+            flight: Value::Null,
         }
         .save(Path::new(&path))
         .unwrap();
@@ -1233,6 +1569,7 @@ mod tests {
             scenario: min.scenario,
             options: opts,
             violations: min.outcome.violations,
+            flight: Value::Null,
         }
         .save(Path::new(&path))
         .unwrap();

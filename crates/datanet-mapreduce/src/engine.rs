@@ -28,7 +28,7 @@ use datanet_cluster::{
     suspicion_schedule_traced, DetectorConfig, EventQueue, FaultPlan, NodeSpec, SimCluster, SimTime,
 };
 use datanet_dfs::{BlockId, Dfs, NodeId, SubDatasetId};
-use datanet_obs::{Category, Domain, Recorder, SpanCtx};
+use datanet_obs::{Category, Domain, FlightKind, Recorder, SpanCtx};
 
 /// Fixed per-task cost (scheduling heartbeat, JVM reuse, commit) — Hadoop
 /// charges ~1 s per task; scaled here by the same 256× factor as the
@@ -134,6 +134,16 @@ pub fn run_selection_traced(
     let mut total_tasks = 0usize;
     let mut bytes_read = 0u64;
 
+    rec.flight(
+        FlightKind::Plan,
+        Domain::Sim,
+        0,
+        None,
+        format!(
+            "selection plan: {} tasks over {m} nodes",
+            scheduler.remaining()
+        ),
+    );
     // Slot-free events: all slots free at t=0 (slots_per_node tokens per
     // node). FIFO tie-break keeps node order deterministic.
     let mut slots: EventQueue<NodeId> = EventQueue::new();
@@ -379,6 +389,17 @@ pub fn run_selection_faulty_traced(
     let mut budget = RetryBudget::new(dfs.block_count(), faults.max_retries);
     let mut first_crash: Option<SimTime> = None;
 
+    rec.flight(
+        FlightKind::Plan,
+        Domain::Sim,
+        0,
+        None,
+        format!(
+            "faulty selection plan: {} tasks over {m} nodes, {} planned crashes",
+            scheduler.remaining(),
+            faults.plan.crash_count()
+        ),
+    );
     let mut events: EventQueue<FaultEvent> = EventQueue::new();
     // Under detection, the engine learns of a crash at the *suspicion*
     // instant; under the oracle model, at the crash instant itself.

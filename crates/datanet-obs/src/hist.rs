@@ -7,6 +7,25 @@
 //! Fibonacci multiple would overflow `u64`.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// For each bit length `L` (1..=64), the largest base-1 bound index `i`
+/// with `bounds[i] <= 2^(L-1)` — the jump-in point for
+/// [`FibHistogram::observe`]'s fast path. Fibonacci numbers grow by
+/// φ ≈ 1.618 per index, so from that start at most two fix-up steps
+/// reach any value of the bit length (φ² > 2).
+fn fib_start_by_bits() -> &'static [u8; 65] {
+    static LUT: OnceLock<[u8; 65]> = OnceLock::new();
+    LUT.get_or_init(|| {
+        let bounds = FibHistogram::new(1).bounds;
+        let mut lut = [0u8; 65];
+        for (l, slot) in lut.iter_mut().enumerate().skip(1) {
+            let v = 1u64 << (l - 1);
+            *slot = (bounds.partition_point(|&b| b <= v) - 1) as u8;
+        }
+        lut
+    })
+}
 
 /// A histogram over `u64` samples with Fibonacci-progression bucket bounds.
 /// Bucket `i` covers `[bounds[i], bounds[i+1])`; the last bucket is
@@ -62,9 +81,25 @@ impl FibHistogram {
         Self::new(1024)
     }
 
-    /// Record one sample. O(log #buckets).
+    /// Record one sample. O(1) for base-1 (microsecond) histograms — the
+    /// metrics hot path — via a bit-length jump table; O(log #buckets)
+    /// binary search otherwise.
     pub fn observe(&mut self, value: u64) {
-        let i = self.bounds.partition_point(|&b| b <= value) - 1;
+        let i = if value == 0 {
+            0
+        } else if self.bounds[1] == 1 {
+            // Base-1 bounds are the full Fibonacci sequence, so the
+            // jump table (built from the same sequence) indexes
+            // directly into `self.bounds`.
+            let bits = (64 - value.leading_zeros()) as usize;
+            let mut i = fib_start_by_bits()[bits] as usize;
+            while i + 1 < self.bounds.len() && self.bounds[i + 1] <= value {
+                i += 1;
+            }
+            i
+        } else {
+            self.bounds.partition_point(|&b| b <= value) - 1
+        };
         self.counts[i] += 1;
         self.total += 1;
         self.sum = self.sum.saturating_add(value);
@@ -73,6 +108,11 @@ impl FibHistogram {
     /// Total samples observed.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Mean of all samples (0 when empty).
@@ -194,6 +234,33 @@ mod tests {
         assert_eq!(h.count(2), 1);
         assert_eq!(h.total(), 4);
         assert!((h.mean() - 14.5).abs() < 1e-12);
+    }
+
+    /// The base-1 jump-table fast path must agree with the binary search
+    /// on every bucket boundary (±1) and across random values.
+    #[test]
+    fn fast_path_matches_binary_search() {
+        let reference = FibHistogram::micros();
+        let check = |v: u64| {
+            let expect = reference.bounds.partition_point(|&b| b <= v) - 1;
+            let mut h = FibHistogram::micros();
+            h.observe(v);
+            assert_eq!(h.count(expect), 1, "value {v} landed in the wrong bucket");
+        };
+        for i in 0..reference.len() {
+            let b = reference.lower_bound(i);
+            check(b);
+            check(b.saturating_add(1));
+            check(b.saturating_sub(1));
+        }
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            check(x);
+            check(x % 1_000_000);
+        }
     }
 
     #[test]

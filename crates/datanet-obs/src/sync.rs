@@ -1,0 +1,129 @@
+//! A minimal spinlock for the metrics registry.
+//!
+//! The registry's critical sections are tens of nanoseconds — a
+//! direct-mapped cache probe plus a couple of `Vec`-indexed bumps — so
+//! an uncontended `std::sync::Mutex` round trip costs about as much as
+//! the work it guards. A raw compare-exchange halves the per-event
+//! price, and contention is bounded: the only concurrent writers are
+//! rayon scan workers whose wall-domain events are count-only. The
+//! guard releases on drop, so a panic inside the critical section (the
+//! span-shape asserts) unwinds cleanly instead of wedging the lock.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub(crate) struct SpinLock<T> {
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock grants exclusive access before any reference to the
+// payload is handed out, so the container is Sync (and Send) whenever
+// the payload can move between threads.
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+unsafe impl<T: Send> Send for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+            // Wait on a plain load (no cache-line ping-pong), yielding to
+            // the scheduler if the holder seems preempted.
+            let mut spins = 0u32;
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                    spins = 0;
+                }
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for SpinLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpinLock").finish_non_exhaustive()
+    }
+}
+
+pub(crate) struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only while the lock is held.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard exists only while the lock is held, and
+        // `&mut self` makes this the sole reference.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_add_up_across_threads() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *lock.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 80_000);
+    }
+
+    #[test]
+    fn guard_releases_on_panic() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let l2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.lock();
+            panic!("poisoned on purpose");
+        })
+        .join();
+        // The lock must be free again.
+        assert_eq!(*lock.lock(), 0);
+    }
+}

@@ -99,6 +99,12 @@ fn args_value(ctx: &SpanCtx) -> Value {
     if let Some(s) = ctx.sub {
         entries.push(("sub".to_string(), Value::U64(s)));
     }
+    if let Some(q) = ctx.query {
+        entries.push(("query".to_string(), Value::U64(q)));
+    }
+    if let Some(t) = &ctx.tenant {
+        entries.push(("tenant".to_string(), Value::Str(t.clone())));
+    }
     if let Some(note) = &ctx.note {
         entries.push(("note".to_string(), Value::Str(note.clone())));
     }

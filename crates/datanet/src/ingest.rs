@@ -44,7 +44,7 @@ use crate::store::{
 };
 use crate::symbol::{FastMap, FxBuildHasher, SymbolTable};
 use datanet_dfs::{Block, BlockId, SubDatasetId};
-use datanet_obs::{Category, Domain, Recorder, SpanCtx};
+use datanet_obs::{Category, Domain, FlightKind, Recorder, SpanCtx};
 use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -578,6 +578,16 @@ impl Ingestor {
         self.durable_summary_crc = plan.manifest.summary_crc.clone();
         self.stats.epochs_committed += 1;
         self.rec.add("ingest_epochs", 1);
+        self.rec.flight(
+            FlightKind::CheckpointCommit,
+            Domain::Wall,
+            self.rec.wall_us(),
+            None,
+            format!(
+                "ingest epoch {} durable at {} blocks",
+                plan.epoch, plan.manifest.blocks
+            ),
+        );
     }
 
     /// Compact and persist the next epoch to every replica directory.

@@ -31,7 +31,7 @@ use crate::distribution::SubDatasetView;
 use crate::elasticmap::{ElasticMap, Separation, SizeInfo, BLOOM_EPSILON};
 use crate::scan::ElasticMapArray;
 use datanet_dfs::{BlockId, SubDatasetId};
-use datanet_obs::{Category, Domain, Recorder, SpanCtx};
+use datanet_obs::{Category, Domain, FlightKind, Recorder, SpanCtx};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
@@ -652,11 +652,25 @@ impl MetaStore {
             if d > 0 {
                 self.health.failovers += 1;
                 self.rec.add("meta_failovers", 1);
+                self.rec.flight(
+                    FlightKind::Retry,
+                    Domain::Wall,
+                    self.rec.wall_us(),
+                    None,
+                    format!("failover to replica {d} for {file}"),
+                );
             }
             for attempt in 0..self.retry.attempts_per_replica {
                 if attempt > 0 {
                     self.health.retries += 1;
                     self.rec.add("meta_retries", 1);
+                    self.rec.flight(
+                        FlightKind::Retry,
+                        Domain::Wall,
+                        self.rec.wall_us(),
+                        None,
+                        format!("retry {attempt} of {file} on replica {d}"),
+                    );
                     // Deterministic per-(shard, replica) jitter: concurrent
                     // readers of different shards never sleep in lockstep.
                     let seed = (shard as u64) << 8 | d as u64;
@@ -925,11 +939,25 @@ impl MetaStore {
                             }
                         }
                         sources.push(ShardSource::Summary);
+                        self.rec.flight(
+                            FlightKind::RungChange,
+                            Domain::Wall,
+                            self.rec.wall_us(),
+                            None,
+                            format!("shard {i} degraded to summary (rung 2)"),
+                        );
                     }
                     Err(_) => {
                         let (start, end) = self.shard_span(i);
                         unknown.extend((start..end).map(|b| BlockId(b as u32)));
                         sources.push(ShardSource::Lost);
+                        self.rec.flight(
+                            FlightKind::RungChange,
+                            Domain::Wall,
+                            self.rec.wall_us(),
+                            None,
+                            format!("shard {i} lost, blocks {start}..{end} unknown (rung 3)"),
+                        );
                     }
                 },
             }
@@ -987,11 +1015,25 @@ impl MetaStore {
                             }
                         }
                         sources.push(ShardSource::Summary);
+                        self.rec.flight(
+                            FlightKind::RungChange,
+                            Domain::Wall,
+                            self.rec.wall_us(),
+                            None,
+                            format!("shard {i} degraded to summary (rung 2)"),
+                        );
                     }
                     Err(_) => {
                         let (start, end) = self.shard_span(i);
                         unknown.extend((start..end).map(|b| BlockId(b as u32)));
                         sources.push(ShardSource::Lost);
+                        self.rec.flight(
+                            FlightKind::RungChange,
+                            Domain::Wall,
+                            self.rec.wall_us(),
+                            None,
+                            format!("shard {i} lost, blocks {start}..{end} unknown (rung 3)"),
+                        );
                     }
                 },
             }

@@ -1,0 +1,217 @@
+//! Integration tests for the always-on metrics plane (the observability
+//! tentpole): snapshot determinism under the rayon-sharded build, the
+//! OpenMetrics exposition round-trip, per-query span totals reconciling
+//! with the execution report, and the flight recording embedded in a
+//! shrunk repro file.
+
+use datanet::{ElasticMapArray, Separation};
+use datanet_analytics::profiles::word_count_profile;
+use datanet_bench::movie_dataset;
+use datanet_check::{check_scenario_instrumented, shrink, CheckOptions, Repro, Scenario};
+use datanet_mapreduce::{run_pipeline_traced, AnalysisConfig, DataNetScheduler, SelectionConfig};
+use datanet_obs::{parse_openmetrics, to_openmetrics, OmKind, QueryCtx, Recorder};
+
+const NODES: u32 = 8;
+const WINDOW_US: u64 = 1_000_000;
+
+/// Canonical series key of a parsed sample: family name plus its labels
+/// sorted by key — the exact format `MetricsSnapshot` keys use.
+fn canonical_key(family: &str, labels: &[(String, String)]) -> String {
+    let mut ls: Vec<&(String, String)> = labels.iter().filter(|(k, _)| k != "quantile").collect();
+    ls.sort();
+    if ls.is_empty() {
+        family.to_string()
+    } else {
+        let body: Vec<String> = ls.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{family}{{{}}}", body.join(","))
+    }
+}
+
+/// The metered rayon-sharded build must produce an identical snapshot on
+/// every run: wall-domain scan spans are count-only precisely so that
+/// worker interleaving cannot leak into the registry.
+#[test]
+fn metered_snapshot_is_deterministic_under_parallel_build() {
+    let (dfs, _) = movie_dataset(NODES);
+    let build_snapshot = || {
+        let rec = Recorder::off().with_metrics(WINDOW_US);
+        ElasticMapArray::build_traced(&dfs, &Separation::Alpha(0.3), &rec);
+        to_openmetrics(&rec.metrics_snapshot().expect("metrics attached"))
+    };
+    let first = build_snapshot();
+    assert!(first.contains("spans_total"), "build must meter scan spans");
+    for _ in 0..3 {
+        assert_eq!(
+            build_snapshot(),
+            first,
+            "metered build snapshot must not depend on worker interleaving"
+        );
+    }
+}
+
+/// A full traced pipeline's snapshot survives the OpenMetrics text
+/// exposition round-trip: every counter and histogram series re-parses
+/// to its exact key and value, and nothing extra appears.
+#[test]
+fn openmetrics_roundtrip_preserves_every_series() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let view = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3)).view(hot);
+    let rec = Recorder::off()
+        .with_metrics(WINDOW_US)
+        .scoped(QueryCtx::new(42).tenant("acme"));
+    let mut sched = DataNetScheduler::new(&dfs, &view);
+    run_pipeline_traced(
+        &dfs,
+        hot,
+        &mut sched,
+        &word_count_profile(),
+        &SelectionConfig::default(),
+        &AnalysisConfig::default(),
+        &rec,
+    );
+    let snap = rec.metrics_snapshot().expect("metrics attached");
+    let families = parse_openmetrics(&to_openmetrics(&snap)).expect("exposition must parse");
+    assert!(!families.is_empty());
+
+    let mut counters_seen = 0usize;
+    let mut hists_seen = 0usize;
+    for family in &families {
+        for sample in &family.samples {
+            match family.kind {
+                OmKind::Counter => {
+                    let name = sample
+                        .name
+                        .strip_suffix("_total")
+                        .expect("counter samples end in _total");
+                    let key = canonical_key(name, &sample.labels);
+                    let &expect = snap
+                        .counters
+                        .get(&key)
+                        .unwrap_or_else(|| panic!("unknown counter series {key}"));
+                    assert_eq!(sample.value as u64, expect, "value mismatch for {key}");
+                    counters_seen += 1;
+                }
+                OmKind::Summary => {
+                    if let Some(name) = sample.name.strip_suffix("_count") {
+                        let key = canonical_key(name, &sample.labels);
+                        let h = snap
+                            .hists
+                            .get(&key)
+                            .unwrap_or_else(|| panic!("unknown histogram series {key}"));
+                        assert_eq!(sample.value as u64, h.count, "count mismatch for {key}");
+                        hists_seen += 1;
+                    }
+                }
+                OmKind::Gauge => {}
+            }
+        }
+    }
+    assert_eq!(
+        counters_seen,
+        snap.counters.len(),
+        "every counter round-trips"
+    );
+    assert_eq!(hists_seen, snap.hists.len(), "every histogram round-trips");
+}
+
+/// The causal thread end-to-end: every span series of a query-scoped run
+/// carries the query id and tenant, and the per-query span totals agree
+/// with the execution report's task accounting.
+#[test]
+fn per_query_span_totals_reconcile_with_execution_report() {
+    let (dfs, catalog) = movie_dataset(NODES);
+    let hot = catalog.most_reviewed();
+    let view = ElasticMapArray::build(&dfs, &Separation::Alpha(0.3)).view(hot);
+    let rec = Recorder::off()
+        .with_metrics(WINDOW_US)
+        .scoped(QueryCtx::new(7).tenant("acme"));
+    let mut sched = DataNetScheduler::new(&dfs, &view);
+    let report = run_pipeline_traced(
+        &dfs,
+        hot,
+        &mut sched,
+        &word_count_profile(),
+        &SelectionConfig::default(),
+        &AnalysisConfig::default(),
+        &rec,
+    );
+    let snap = rec.metrics_snapshot().expect("metrics attached");
+    let families = parse_openmetrics(&to_openmetrics(&snap)).expect("exposition must parse");
+
+    let spans = families
+        .iter()
+        .find(|f| f.name == "spans")
+        .expect("span counters exported");
+    let mut select_tasks = 0u64;
+    let mut map_tasks = 0u64;
+    let mut reduce_tasks = 0u64;
+    for s in &spans.samples {
+        // Causality: every span series of this run is attributable.
+        assert_eq!(
+            s.label("query"),
+            Some("7"),
+            "span without query id: {}",
+            s.name
+        );
+        assert_eq!(s.label("tenant"), Some("acme"));
+        match s.label("name") {
+            Some("select") => select_tasks += s.value as u64,
+            Some("map") => map_tasks += s.value as u64,
+            Some("reduce") => reduce_tasks += s.value as u64,
+            _ => {}
+        }
+    }
+    assert_eq!(
+        select_tasks as usize, report.selection.total_tasks,
+        "metrics plane and execution report must agree on task count"
+    );
+    assert_eq!(map_tasks as usize, report.job.map_secs.len());
+    assert_eq!(reduce_tasks as usize, report.job.reduce_secs.len());
+}
+
+/// A planted oracle violation, shrunk to its minimal world, carries the
+/// flight recording of that minimal failing run inside the repro file —
+/// and the file alone still replays to the same failure.
+#[test]
+fn shrunk_repro_embeds_flight_recording() {
+    let sc = Scenario::from_seed(3);
+    let opts = CheckOptions { credit_skew: 1 };
+    let min = shrink(&sc, &opts).expect("planted credit skew must fail");
+
+    // Instrumented re-run of the *shrunk* scenario, exactly as the CLI
+    // does when writing a repro.
+    let rec = Recorder::off().with_flight(256);
+    let rerun = check_scenario_instrumented(&min.scenario, &opts, &rec);
+    assert!(!rerun.passed(), "shrunk scenario must still fail");
+    let dump = rec.flight_dump().expect("flight plane attached");
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| format!("{:?}", e.kind).contains("OracleViolation")),
+        "flight ring must end with the oracle verdict"
+    );
+
+    let repro = Repro {
+        original_seed: 3,
+        scenario: min.scenario.clone(),
+        options: opts,
+        violations: min.outcome.violations.clone(),
+        flight: dump.to_value(),
+    };
+    let path =
+        std::env::temp_dir().join(format!("datanet-metrics-repro-{}.json", std::process::id()));
+    repro.save(&path).expect("save repro");
+    let back = Repro::load(&path).expect("load repro");
+    std::fs::remove_file(&path).ok();
+
+    let embedded = back.flight_dump().expect("flight dump embedded in file");
+    assert_eq!(embedded.events.len(), dump.events.len());
+    let replayed = back.replay();
+    assert!(!replayed.passed(), "repro file must replay to the failure");
+    assert_eq!(
+        replayed.oracle_names(),
+        min.outcome.oracle_names(),
+        "replay trips the same oracles"
+    );
+}

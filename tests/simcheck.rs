@@ -103,6 +103,7 @@ fn repro_file_replays_identically() {
         scenario: shrunk.scenario.clone(),
         options: opts,
         violations: shrunk.outcome.violations.clone(),
+        flight: serde_json::Value::Null,
     };
     let path = std::env::temp_dir().join(format!(
         "datanet-simcheck-repro-{}.json",
