@@ -17,11 +17,13 @@ pub mod core;
 pub mod ingest;
 pub mod legacy;
 pub mod setup;
+pub mod shuffle;
 pub mod table;
 
 pub use core::{run_core_bench, CoreBenchReport};
 pub use ingest::{run_ingest_bench, IngestBenchReport};
 pub use setup::{github_dataset, movie_dataset, MOVIE_BLOCKS, NODES};
+pub use shuffle::{run_shuffle_bench, ShuffleBenchReport};
 pub use table::Table;
 
 /// Whether the binary was invoked with `--quick`: CI smoke mode. Binaries

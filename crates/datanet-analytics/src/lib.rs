@@ -27,6 +27,7 @@ pub use jobs::{
 pub use pipeline::{
     histogram_pipeline, join_word_count_pipeline, moving_average_pipeline, top_k_pipeline,
     word_count_pipeline, AggJob, CrashPoint, InterruptedRun, KeyValue, MetaPlane, Pipeline,
-    PipelineEnv, PipelineOutput, PipelineReport, PipelineSpec, StageOp, StageReport, WorkingState,
+    PipelineEnv, PipelineOutput, PipelineReport, PipelineSpec, ShuffleFragment, ShuffleParams,
+    StageOp, StageReport, WorkingState,
 };
 pub use profiles::{histogram_profile, moving_average_profile, top_k_profile, word_count_profile};

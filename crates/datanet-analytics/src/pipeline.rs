@@ -39,9 +39,10 @@ use datanet::checkpoint::{self, CheckpointPlan};
 use datanet::{ElasticMapArray, MetaStore, RetryPolicy, StoreError};
 use datanet_dfs::{Dfs, Record, SubDatasetId};
 use datanet_mapreduce::{
-    run_analysis_surviving_traced, run_analysis_traced, run_selection_faulty_traced,
-    run_selection_traced, AnalysisConfig, DataNetScheduler, FaultConfig, FaultStats, JobProfile,
-    MapScheduler, ResilientScheduler, SelectionConfig, SelectionOutcome,
+    key_range_of, range_matrix_truth, run_analysis_shuffled_traced, run_analysis_surviving_traced,
+    run_analysis_traced, run_selection_faulty_traced, run_selection_traced, AnalysisConfig,
+    DataNetScheduler, FaultConfig, FaultStats, JobProfile, MapScheduler, ResilientScheduler,
+    SelectionConfig, SelectionOutcome, ShufflePlan, ShufflePlanner,
 };
 use datanet_obs::{Category, Domain, FlightKind, ObsSummary, Recorder, SpanCtx};
 use serde::{Deserialize, Serialize, Value};
@@ -81,7 +82,8 @@ impl AggJob {
         }
     }
 
-    fn label(&self) -> &'static str {
+    /// Human-readable job name (also stamped into stage labels).
+    pub fn label(&self) -> &'static str {
         match self {
             AggJob::WordCount => "word-count",
             AggJob::MovingAverage(_) => "moving-average",
@@ -106,6 +108,76 @@ impl AggJob {
             })
             .collect()
     }
+
+    /// Partition this job's map output into per-reducer fragments under a
+    /// [`ShufflePlan`]: every emitted pair is stamped with its global
+    /// emission sequence number and routed by key range (split ranges pick
+    /// a fragment deterministically via [`ShufflePlan::fragment_slot`]).
+    /// One fragment per reducer slot, empty slots included.
+    pub fn map_fragments(&self, records: &[Record], plan: &ShufflePlan) -> Vec<ShuffleFragment> {
+        let job = self.job();
+        let ranges = plan.key_ranges();
+        let mut frags: Vec<ShuffleFragment> = (0..plan.reducers.len())
+            .map(|reducer| ShuffleFragment {
+                reducer,
+                entries: Vec::new(),
+            })
+            .collect();
+        let mut seq = 0u64;
+        for r in records {
+            job.map(r, &mut |k, v| {
+                let slot = plan.fragment_slot(key_range_of(k, ranges), seq);
+                frags[slot].entries.push((k, seq, v));
+                seq += 1;
+            });
+        }
+        frags
+    }
+
+    /// Deterministic merge of shuffled fragments: values regroup by key and
+    /// re-sort by emission sequence number before reducing, so the output
+    /// is byte-identical to [`AggJob::run`] regardless of how the key space
+    /// was partitioned, how heavy keys were split, or in which order the
+    /// fragments arrive.
+    pub fn merge_fragments(&self, frags: &[ShuffleFragment]) -> Vec<KeyValue> {
+        let job = self.job();
+        let mut acc: std::collections::BTreeMap<u64, Vec<(u64, f64)>> =
+            std::collections::BTreeMap::new();
+        for f in frags {
+            for &(k, s, v) in &f.entries {
+                acc.entry(k).or_default().push((s, v));
+            }
+        }
+        acc.into_iter()
+            .map(|(key, mut vs)| {
+                vs.sort_unstable_by_key(|&(s, _)| s);
+                let values: Vec<f64> = vs.into_iter().map(|(_, v)| v).collect();
+                KeyValue {
+                    key,
+                    value: job.reduce(key, &values),
+                }
+            })
+            .collect()
+    }
+
+    /// [`AggJob::run`] routed through `plan`'s partitioning — provably the
+    /// same output (the property the `split-merge-equivalence` oracle and
+    /// `tests/shuffle.rs` pin down).
+    pub fn run_routed(&self, records: &[Record], plan: &ShufflePlan) -> Vec<KeyValue> {
+        self.merge_fragments(&self.map_fragments(records, plan))
+    }
+}
+
+/// One reducer's slice of a shuffled map output: `(key, emission sequence,
+/// value)` triples. The sequence numbers are what make the merge
+/// order-insensitive — any arrival permutation of the fragments reduces
+/// identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShuffleFragment {
+    /// Reducer slot this fragment belongs to.
+    pub reducer: usize,
+    /// Emitted `(key, seq, value)` triples, in emission order.
+    pub entries: Vec<(u64, u64, f64)>,
 }
 
 /// One typed pipeline stage.
@@ -292,6 +364,36 @@ pub struct PipelineEnv<'a> {
     pub retry: RetryPolicy,
     /// Seed for the deterministic backoff jitter of checkpoint retries.
     pub retry_seed: u64,
+    /// `Some` prices every healthy aggregate stage through the
+    /// distribution-aware shuffle partitioner (or its hash baseline) and
+    /// routes the data plane through the split/merge path — which is
+    /// answer-preserving, so the report's `data_fingerprint` is identical
+    /// to a `None` run. Faulty stages keep the surviving-uniform layout.
+    pub shuffle: Option<ShuffleParams>,
+}
+
+/// How aggregate stages shuffle when the distribution-aware partitioner is
+/// enabled ([`PipelineEnv::shuffle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleParams {
+    /// Key ranges the intermediate key space is hashed into.
+    pub key_ranges: usize,
+    /// Fair-share multiplier above which a key range splits across
+    /// reducers (≥ 1).
+    pub split_factor: f64,
+    /// `true` plans from the data distribution; `false` uses the classic
+    /// `hash(range) % reducers` baseline — the A/B the CLI exposes.
+    pub aware: bool,
+}
+
+impl Default for ShuffleParams {
+    fn default() -> Self {
+        Self {
+            key_ranges: 32,
+            split_factor: 1.25,
+            aware: true,
+        }
+    }
 }
 
 impl<'a> PipelineEnv<'a> {
@@ -306,6 +408,7 @@ impl<'a> PipelineEnv<'a> {
             analysis: AnalysisConfig::default(),
             retry: RetryPolicy::default(),
             retry_seed: 0,
+            shuffle: None,
         }
     }
 }
@@ -592,6 +695,7 @@ impl Pipeline {
     ) -> Result<RunOutcome, StoreError> {
         let mut stages = Vec::new();
         let mut last_selection: Option<SelectionOutcome> = None;
+        let mut last_sub: Option<SubDatasetId> = None;
         for (i, op) in self.spec.seq.iter().enumerate().skip(start) {
             let label = op.label();
             // Per-stage recorder: the stage's ObsSummary must cover exactly
@@ -631,6 +735,7 @@ impl Pipeline {
                     // describe a working set that no longer exists.
                     state.aggregates.clear();
                     last_selection = Some(outcome);
+                    last_sub = Some(s);
                 }
                 StageOp::Aggregate(job) => {
                     // Resume may land directly on an aggregate stage; the
@@ -647,9 +752,11 @@ impl Pipeline {
                         unknown_blocks = replan.1;
                         degraded = !replan.2;
                         last_selection = Some(replan.0);
+                        last_sub = Some(s);
                     }
                     let sel = last_selection.as_ref().expect("selection planned above");
                     let profile = job.profile();
+                    let mut routed: Option<ShufflePlan> = None;
                     let report = if env.faults.is_some() {
                         let mut alive = vec![true; sel.per_node_bytes.len()];
                         for &n in &sel.faults.crashed_nodes {
@@ -663,6 +770,33 @@ impl Pipeline {
                             sel.end,
                             &stage_rec,
                         )
+                    } else if let Some(p) = env.shuffle {
+                        // Distribution-aware (or hash-baseline) shuffle:
+                        // price the stage on the per-(node, key-range)
+                        // matrix of the stage's input sub-dataset and route
+                        // the data plane through the same plan. The merge
+                        // is answer-preserving, so only placement and bytes
+                        // change — never the aggregates.
+                        let s = last_sub.expect("aggregate follows a data stage");
+                        let matrix = range_matrix_truth(env.dfs, s, p.key_ranges);
+                        let plan = if p.aware {
+                            ShufflePlanner::new(p.split_factor).plan(&matrix)
+                        } else {
+                            ShufflePlan::hash(
+                                p.key_ranges,
+                                (0..matrix.len() as u32).map(datanet_dfs::NodeId).collect(),
+                            )
+                        };
+                        let out = run_analysis_shuffled_traced(
+                            &matrix,
+                            &profile,
+                            &env.analysis,
+                            &plan,
+                            sel.end,
+                            &stage_rec,
+                        );
+                        routed = Some(plan);
+                        out.report
                     } else {
                         run_analysis_traced(
                             &sel.per_node_bytes,
@@ -674,7 +808,10 @@ impl Pipeline {
                     };
                     sim_secs = report.makespan_secs;
                     faults = sel.faults.clone();
-                    state.aggregates = job.run(&state.records);
+                    state.aggregates = match &routed {
+                        Some(plan) => job.run_routed(&state.records, plan),
+                        None => job.run(&state.records),
+                    };
                 }
                 StageOp::Output(_) => {}
             }

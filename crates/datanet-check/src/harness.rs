@@ -13,13 +13,17 @@ use datanet::{
     SizeInfo, SubDatasetView,
 };
 use datanet_analytics::{
-    word_count_profile, CrashPoint, MetaPlane, Pipeline, PipelineEnv, StageOp,
+    word_count_profile, AggJob, CrashPoint, MetaPlane, Pipeline, PipelineEnv, ShuffleParams,
+    StageOp,
 };
-use datanet_dfs::{BlockId, Dfs, NodeId, SubDatasetId};
+use datanet_cluster::SimTime;
+use datanet_dfs::{BlockId, Dfs, NodeId, Record, SubDatasetId};
 use datanet_mapreduce::{
-    run_pipeline_faulty_traced, run_pipeline_traced, run_selection_resilient_traced,
-    run_selection_traced, AnalysisConfig, DataNetScheduler, DelayScheduler, ExecutionReport,
-    FaultConfig, LocalityScheduler, PlannedScheduler, SelectionConfig, SelectionOutcome,
+    apportion, planned_load_bound, range_matrix_estimate, range_matrix_truth,
+    run_analysis_shuffled, run_analysis_shuffled_traced, run_pipeline_faulty_traced,
+    run_pipeline_traced, run_selection_resilient_traced, run_selection_traced, AnalysisConfig,
+    DataNetScheduler, DelayScheduler, ExecutionReport, FaultConfig, LocalityScheduler,
+    PlannedScheduler, SelectionConfig, SelectionOutcome, ShufflePlan, ShufflePlanner,
 };
 use datanet_obs::Recorder;
 use serde::{Deserialize, Serialize};
@@ -89,6 +93,10 @@ pub struct CheckOptions {
     /// `Algorithm1::plant_credit_skew`). Non-zero must trip the
     /// `greedy-conservation` oracle.
     pub credit_skew: u64,
+    /// Collapse the shuffle planner onto one reducer (see
+    /// `ShufflePlanner::plant_reducer_overload`). `true` must trip the
+    /// `reduce-skew` oracle.
+    pub overload_reducer: bool,
 }
 
 /// Verdict for one scenario.
@@ -360,6 +368,9 @@ pub fn check_scenario_instrumented(
 
     // ---- checkpointed pipeline executor: crash + resume ≡ run --------
     pipeline_exec_oracles(&mut v, sc, &dfs, &arr);
+
+    // ---- distribution-aware shuffle: skew, conservation, merge -------
+    shuffle_oracles(&mut v, sc, &dfs, &view, &arr, opts);
 
     // ---- streaming ingest: incremental ≡ rebuild at every prefix -----
     ingest_oracles(&mut v, sc, &dfs, &sep);
@@ -877,6 +888,7 @@ fn pipeline_exec_oracles(v: &mut Vec<Violation>, sc: &Scenario, dfs: &Dfs, arr: 
         analysis: AnalysisConfig::default(),
         retry: RetryPolicy::default(),
         retry_seed: sc.seed,
+        shuffle: None,
     };
     let dirs_a = ReplicaDirs::new(2);
     let report = match pipe.run(&mut env, &dirs_a.paths(), &Recorder::off()) {
@@ -1043,6 +1055,223 @@ fn pipeline_exec_oracles(v: &mut Vec<Violation>, sc: &Scenario, dfs: &Dfs, arr: 
         Err(e) => v.push(Violation::new(
             "pipeline-resume-equivalence",
             format!("resumed ledger unreadable: {e}"),
+        )),
+    }
+}
+
+/// Distribution-aware shuffle oracles (DESIGN.md §17).
+///
+/// * `reduce-skew` — the planner's promise: no reducer is assigned more
+///   estimated bytes than `fair + max(split_threshold, ⌈max_range/m⌉)`
+///   (plus per-range rounding), and the bytes each reducer *actually*
+///   receives under the truth matrix stay inside the same bound scaled
+///   to output units plus the estimate's L1 error — so a planner that
+///   funnels load onto one reducer (the planted overload) is caught by
+///   arithmetic, not by timing.
+/// * `shuffle-byte-conservation` — every mapper output byte arrives at
+///   exactly one reducer: Σ received == Σ map_output_bytes(row), and the
+///   network/local split partitions it, for the aware and hash plans.
+/// * `split-merge-equivalence` — the routed data plane is byte-identical
+///   to the unrouted job for any plan and any fragment arrival order:
+///   `run_routed` under a seeded permutation of the fragments equals
+///   `AggJob::run`, and a full pipeline run with shuffle routing enabled
+///   reproduces the unrouted pipeline's `data_fingerprint` bit for bit.
+///
+/// The traced shuffled run is also twinned against its untraced double
+/// under the existing `traced-twin`/`unclosed-spans` names.
+fn shuffle_oracles(
+    v: &mut Vec<Violation>,
+    sc: &Scenario,
+    dfs: &Dfs,
+    view: &SubDatasetView,
+    arr: &ElasticMapArray,
+    opts: &CheckOptions,
+) {
+    let target = sc.target_id();
+    let ranges = sc.shuffle.key_ranges;
+    let sf = sc.shuffle.split_factor;
+    let truth = range_matrix_truth(dfs, target, ranges);
+    let est = range_matrix_estimate(dfs, view, ranges);
+    let m = truth.len();
+    let mut planner = ShufflePlanner::new(sf);
+    if opts.overload_reducer {
+        planner.plant_reducer_overload();
+    }
+    let aware = planner.plan(&est);
+    let hash = ShufflePlan::hash(ranges, (0..m as u32).map(NodeId).collect());
+
+    // Planner-side skew: the aware plan's estimated per-reducer load
+    // respects the analytic bound (± one byte of largest-remainder
+    // rounding per range).
+    let est_ranges: Vec<u64> = (0..ranges)
+        .map(|r| est.iter().map(|row| row[r]).sum())
+        .collect();
+    let bound = planned_load_bound(&est_ranges, m, sf) + ranges as u64;
+    let max_planned = aware.planned_load().into_iter().max().unwrap_or(0);
+    if max_planned > bound {
+        v.push(Violation::new(
+            "reduce-skew",
+            format!(
+                "planner assigned {max_planned} estimated bytes to one reducer, \
+                 bound {bound} (fair share of {} over {m} reducers)",
+                est_ranges.iter().sum::<u64>()
+            ),
+        ));
+    }
+
+    // Engine runs: conservation and traced twins, both plans.
+    let job = word_count_profile();
+    let cfg = AnalysisConfig::default();
+    let expected: u64 = truth
+        .iter()
+        .map(|row| job.map_output_bytes(row.iter().sum()))
+        .sum();
+    let mut aware_out = None;
+    for (name, plan) in [("aware", &aware), ("hash", &hash)] {
+        let off = run_analysis_shuffled(&truth, &job, &cfg, plan);
+        let rec = Recorder::new();
+        let on = run_analysis_shuffled_traced(&truth, &job, &cfg, plan, SimTime::ZERO, &rec);
+        if on != off {
+            v.push(Violation::new(
+                "traced-twin",
+                format!("shuffled {name} run diverged from its untraced twin"),
+            ));
+        }
+        let data = rec.take();
+        if data.unclosed_spans() != 0 {
+            v.push(Violation::new(
+                "unclosed-spans",
+                format!(
+                    "shuffled {name} run: {} spans never closed",
+                    data.unclosed_spans()
+                ),
+            ));
+        }
+        let received: u64 = off.received.iter().sum();
+        if received != expected {
+            v.push(Violation::new(
+                "shuffle-byte-conservation",
+                format!("{name} plan: reducers received {received} bytes of {expected} mapped"),
+            ));
+        }
+        if off.network_bytes + off.local_bytes != expected {
+            v.push(Violation::new(
+                "shuffle-byte-conservation",
+                format!(
+                    "{name} plan: network {} + local {} ≠ {expected} mapped",
+                    off.network_bytes, off.local_bytes
+                ),
+            ));
+        }
+        if name == "aware" {
+            aware_out = Some(off);
+        }
+    }
+
+    // Received-side skew: what the aware plan's reducers actually took
+    // in, measured against the planner bound translated to output units.
+    // The estimate is allowed to be wrong — the bound absorbs exactly
+    // its L1 error against the truth distribution plus the integer
+    // apportioning slack — so only genuine routing skew trips this.
+    let total_e: u64 = est_ranges.iter().sum();
+    if let Some(out) = &aware_out {
+        if expected > 0 && total_e > 0 {
+            let scale = expected as f64 / total_e as f64;
+            let mut truth_ranges = vec![0u64; ranges];
+            for row in &truth {
+                let cells = apportion(job.map_output_bytes(row.iter().sum()), row);
+                for (r, c) in cells.iter().enumerate() {
+                    truth_ranges[r] += c;
+                }
+            }
+            let l1: f64 = (0..ranges)
+                .map(|r| (scale * est_ranges[r] as f64 - truth_ranges[r] as f64).abs())
+                .sum();
+            let slack = (ranges * (m + 2)) as f64;
+            let bound_r = scale * planned_load_bound(&est_ranges, m, sf) as f64 + l1 + slack;
+            let max_recv = out.received.iter().copied().max().unwrap_or(0) as f64;
+            if max_recv > bound_r {
+                v.push(Violation::new(
+                    "reduce-skew",
+                    format!(
+                        "one reducer received {max_recv} bytes of {expected}; \
+                         bound {bound_r:.0} (estimate L1 error {l1:.0})"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Data plane: routed ≡ unrouted for every aggregate job the scenario
+    // pipeline draws (word count always included), both plans, under the
+    // scenario's fragment arrival permutation.
+    let records: Vec<Record> = dfs
+        .blocks()
+        .iter()
+        .flat_map(|b| b.filter(target).cloned().collect::<Vec<_>>())
+        .collect();
+    let mut aggs = vec![AggJob::WordCount];
+    for op in &sc.pipeline_spec().seq {
+        if let StageOp::Aggregate(a) = op {
+            if !aggs.contains(a) {
+                aggs.push(*a);
+            }
+        }
+    }
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut prng = rand::rngs::StdRng::seed_from_u64(sc.shuffle.permutation_seed);
+    for agg in &aggs {
+        let baseline = agg.run(&records);
+        for (name, plan) in [("aware", &aware), ("hash", &hash)] {
+            let mut frags = agg.map_fragments(&records, plan);
+            frags.shuffle(&mut prng);
+            if agg.merge_fragments(&frags) != baseline {
+                v.push(Violation::new(
+                    "split-merge-equivalence",
+                    format!(
+                        "{} routed through the {name} plan diverged from the \
+                         unrouted job under a shuffled arrival order",
+                        agg.label()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Pipeline surface: turning shuffle routing on must not change the
+    // data product of the scenario's own pipeline.
+    let run_pipe = |shuffle: Option<ShuffleParams>| {
+        let pipe = Pipeline::new(sc.pipeline_spec());
+        let mut env = PipelineEnv {
+            dfs,
+            meta: MetaPlane::Array(arr),
+            faults: sc.has_faults().then(|| sc.fault_config()),
+            selection: SelectionConfig::default(),
+            analysis: AnalysisConfig::default(),
+            retry: RetryPolicy::default(),
+            retry_seed: sc.seed,
+            shuffle,
+        };
+        let dirs = ReplicaDirs::new(2);
+        pipe.run(&mut env, &dirs.paths(), &Recorder::off())
+            .map(|r| r.data_fingerprint())
+    };
+    let routed = run_pipe(Some(ShuffleParams {
+        key_ranges: ranges,
+        split_factor: sf,
+        aware: true,
+    }));
+    let plain = run_pipe(None);
+    match (routed, plain) {
+        (Ok(a), Ok(b)) if a == b => {}
+        (Ok(_), Ok(_)) => v.push(Violation::new(
+            "split-merge-equivalence",
+            "shuffle-routed pipeline produced a different data fingerprint".to_string(),
+        )),
+        (Err(e), _) | (_, Err(e)) => v.push(Violation::new(
+            "split-merge-equivalence",
+            format!("pipeline run failed: {e}"),
         )),
     }
 }

@@ -23,7 +23,15 @@
 //!   through [`datanet::Ingestor`] yields a snapshot byte-identical to a
 //!   from-scratch rebuild at every arrival prefix, including across a
 //!   scripted mid-commit crash (resume from the last durable epoch), and
-//!   every committed epoch time-travels to exactly the snapshot it froze.
+//!   every committed epoch time-travels to exactly the snapshot it froze;
+//! * **distribution-aware shuffle** — the reduce-side partitioner's
+//!   planned and received loads stay under the provable LPT bound
+//!   (`reduce-skew`), every shuffled byte is conserved local-plus-network
+//!   for the aware *and* hash plans (`shuffle-byte-conservation`), and
+//!   heavy-key split fragments merge to the unrouted job's exact output
+//!   under seeded arrival permutations, with a routed pipeline run
+//!   fingerprint-identical to an unrouted one
+//!   (`split-merge-equivalence`).
 //!
 //! On a violation, [`shrink`] reduces the failing scenario to a minimal
 //! repro (fewer records, nodes, fault events, less corruption) that still
@@ -44,7 +52,9 @@ pub use harness::{
     Violation,
 };
 pub use repro::Repro;
-pub use scenario::{Corruption, CrashEvent, IngestPlan, NicEvent, Scenario, SlowEvent};
+pub use scenario::{
+    Corruption, CrashEvent, IngestPlan, NicEvent, Scenario, ShuffleAxis, SlowEvent,
+};
 pub use shrink::{shrink, Shrunk};
 
 /// Expand `seed` into its scenario and check every invariant oracle.

@@ -84,7 +84,10 @@ mod tests {
         let repro = Repro {
             original_seed: 9,
             scenario: Scenario::from_seed(9),
-            options: CheckOptions { credit_skew: 1 },
+            options: CheckOptions {
+                credit_skew: 1,
+                ..CheckOptions::default()
+            },
             violations: vec![Violation {
                 oracle: "greedy-conservation".into(),
                 detail: "credited 1 byte too many".into(),

@@ -106,6 +106,20 @@ pub struct PipelinePlan {
     pub crash_write: u64,
 }
 
+/// Distribution-aware shuffle axis: how finely the shuffle planner
+/// prices the key space, the heavy-key split threshold factor, and the
+/// fragment-arrival permutation the split-merge oracle replays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleAxis {
+    /// Key ranges the planner prices (Equation 6 evaluated per range).
+    pub key_ranges: usize,
+    /// Heavy-key split threshold factor (≥ 1; 1 splits most eagerly).
+    pub split_factor: f64,
+    /// Seed for the fragment arrival permutation in the
+    /// `split-merge-equivalence` oracle.
+    pub permutation_seed: u64,
+}
+
 /// One fully-expanded simulated world.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -148,6 +162,8 @@ pub struct Scenario {
     pub ingest: IngestPlan,
     /// Multi-stage pipeline schedule and mid-checkpoint crash point.
     pub pipeline: PipelinePlan,
+    /// Distribution-aware shuffle planning knobs.
+    pub shuffle: ShuffleAxis,
 }
 
 impl Scenario {
@@ -249,6 +265,15 @@ impl Scenario {
             }
         };
 
+        // Shuffle draws append after the pipeline draws — again at the
+        // END of the seed stream, so the whole corpus still expands to
+        // exactly the world it always did (plus a shuffle axis).
+        let shuffle = ShuffleAxis {
+            key_ranges: rng.gen_range(8usize..48),
+            split_factor: rng.gen_range(1.0..1.6),
+            permutation_seed: rng.gen(),
+        };
+
         Self {
             seed: dataset_seed,
             subdatasets,
@@ -268,6 +293,7 @@ impl Scenario {
             max_retries: 3,
             ingest,
             pipeline,
+            shuffle,
         }
     }
 
@@ -398,6 +424,11 @@ mod tests {
                 assert!(c >= 1);
             }
             assert!(!sc.pipeline.ops.is_empty());
+            assert!(sc.shuffle.key_ranges >= 2, "planner needs ≥ 2 key ranges");
+            assert!(
+                sc.shuffle.split_factor >= 1.0 && sc.shuffle.split_factor.is_finite(),
+                "split factor must be a finite value ≥ 1"
+            );
             let spec = sc.pipeline_spec();
             assert!(matches!(spec.seq[0], StageOp::Filter(_)));
             assert!(spec.seq.len() == sc.pipeline.ops.len() + 2);

@@ -168,6 +168,20 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // Simpler shuffle: coarser key space first, then the eagerest split
+    // threshold (factor 1.0 splits at exactly the fair share, the
+    // easiest plan to read in a repro).
+    if sc.shuffle.key_ranges > 2 {
+        let mut c = sc.clone();
+        c.shuffle.key_ranges = (sc.shuffle.key_ranges / 2).max(2);
+        push(c);
+    }
+    if sc.shuffle.split_factor != 1.0 {
+        let mut c = sc.clone();
+        c.shuffle.split_factor = 1.0;
+        push(c);
+    }
+
     out
 }
 
@@ -208,6 +222,8 @@ mod tests {
                 for e in &c.nic {
                     assert!(e.node < c.nodes as usize);
                 }
+                assert!(c.shuffle.key_ranges >= 2);
+                assert!(c.shuffle.split_factor >= 1.0);
             }
         }
     }

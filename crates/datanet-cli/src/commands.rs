@@ -12,13 +12,14 @@ use datanet_analytics::profiles::{
 };
 use datanet_analytics::{
     histogram_pipeline, join_word_count_pipeline, moving_average_pipeline, top_k_pipeline,
-    word_count_pipeline, Pipeline, PipelineEnv,
+    word_count_pipeline, Pipeline, PipelineEnv, ShuffleParams,
 };
 use datanet_bench::Table;
-use datanet_dfs::{DfsConfig, SubDatasetId, Topology};
+use datanet_dfs::{DfsConfig, NodeId, SubDatasetId, Topology};
 use datanet_mapreduce::{
-    run_pipeline, run_pipeline_traced, AnalysisConfig, DataNetScheduler, JobProfile,
-    LocalityScheduler, SelectionConfig,
+    range_matrix_estimate, range_matrix_truth, run_analysis_shuffled, run_pipeline,
+    run_pipeline_traced, AnalysisConfig, DataNetScheduler, JobProfile, LocalityScheduler,
+    SelectionConfig, ShufflePlan, ShufflePlanner,
 };
 use datanet_obs::Recorder;
 use datanet_workloads::{GithubConfig, MoviesConfig, WorldCupConfig};
@@ -87,10 +88,12 @@ USAGE:
   datanet scrub --meta DIR[,DIR...]
   datanet simulate --dataset FILE --subdataset ID
               [--job movingaverage|wordcount|histogram|topk] [--alpha F]
+              [--shuffle off|aware|hash] [--key-ranges N] [--split-factor F]
               [--trace OUT.json]
   datanet pipeline --dataset FILE --subdataset ID --ckpt DIR[,DIR...]
               [--job wordcount|movingaverage|histogram|topk|join] [--with ID]
               [--window-secs N] [--alpha F] [--resume] [--json OUT.json]
+              [--shuffle off|aware|hash] [--key-ranges N] [--split-factor F]
               [--trace OUT.json]
   datanet trace TRACE.json
   datanet top SNAPSHOT.json [--flight FLIGHT.json]
@@ -136,6 +139,18 @@ epoch-stamped checkpoint into the `--ckpt` replica directories under the
 crash-safe write order. After a crash, re-run with `--resume` to restore
 the last durable stage and execute only the remainder (`--job join`
 semi-joins `--subdataset` against `--with` before counting words).
+
+`--shuffle aware` routes aggregate stages through the distribution-aware
+reduce-side partitioner: the intermediate key space is hashed into
+`--key-ranges` ranges, Equation 6 prices each range from the ElasticMap,
+and reducers are placed heaviest-range-first on the nodes already holding
+the bytes, splitting any range heavier than `--split-factor` fair shares
+across reducers (merged back deterministically, so answers never change).
+`--shuffle hash` selects the classic skew- and locality-blind
+`hash(key) % reducers` baseline. Both print an aware-vs-hash comparison:
+network bytes, locality fraction, reduce imbalance and makespan.
+The `shuffle` bench binary (`cargo run --release -p datanet-bench --bin
+shuffle`) gates the reduction ratio in CI.
 
 `datanet ingest` streams the dataset's blocks through the incremental
 ingestor instead of a batch scan: per-block summaries at write time,
@@ -576,6 +591,99 @@ fn job_by_name(name: &str) -> Result<JobProfile, CliError> {
     })
 }
 
+/// The distribution-aware shuffle flags `simulate` and `pipeline` share:
+/// `--shuffle off|aware|hash` picks the reduce-side partitioner (`off`,
+/// the default, keeps the legacy unrouted reduce), `--key-ranges N` sets
+/// the intermediate key-space granularity and `--split-factor F` the
+/// heavy-key split threshold in fair shares.
+fn shuffle_args(args: &Args) -> Result<Option<ShuffleParams>, CliError> {
+    let key_ranges: usize = args.get_or("key-ranges", 32)?;
+    let split_factor: f64 = args.get_or("split-factor", 1.25)?;
+    if key_ranges < 2 {
+        return Err(ArgError("--key-ranges must be at least 2".into()).into());
+    }
+    if !split_factor.is_finite() || split_factor < 1.0 {
+        return Err(ArgError("--split-factor must be a finite value >= 1".into()).into());
+    }
+    let aware = match args.get("shuffle").unwrap_or("off") {
+        "off" => return Ok(None),
+        "aware" => true,
+        "hash" => false,
+        other => {
+            return Err(ArgError(format!(
+                "--shuffle must be off, aware or hash, got `{other}`"
+            ))
+            .into())
+        }
+    };
+    Ok(Some(ShuffleParams {
+        key_ranges,
+        split_factor,
+        aware,
+    }))
+}
+
+/// The aware-vs-hash shuffle comparison both commands print when a
+/// partitioner is selected: the aware plan is built from the ElasticMap
+/// *estimate* (what the planner would see in production), then both plans
+/// replay against the *true* per-(node, key-range) byte matrix.
+fn print_shuffle_comparison(
+    out: &mut dyn Write,
+    dfs: &datanet_dfs::Dfs,
+    view: &datanet::SubDatasetView,
+    s: SubDatasetId,
+    job: &JobProfile,
+    p: &ShuffleParams,
+    ana: &AnalysisConfig,
+) -> Result<(), CliError> {
+    let est = range_matrix_estimate(dfs, view, p.key_ranges);
+    let truth = range_matrix_truth(dfs, s, p.key_ranges);
+    let m = truth.len();
+    let aware = ShufflePlanner::new(p.split_factor).plan(&est);
+    let hash = ShufflePlan::hash(p.key_ranges, (0..m as u32).map(NodeId).collect());
+    let splits = aware
+        .assignments
+        .iter()
+        .filter(|frags| frags.len() > 1)
+        .count();
+    let a = run_analysis_shuffled(&truth, job, ana, &aware);
+    let h = run_analysis_shuffled(&truth, job, ana, &hash);
+    writeln!(
+        out,
+        "  shuffle [{}]: {} key range(s), split factor {:.2}, {} range(s) split",
+        if p.aware { "aware" } else { "hash" },
+        p.key_ranges,
+        p.split_factor,
+        splits
+    )?;
+    for (name, o) in [("hash ", &h), ("aware", &a)] {
+        writeln!(
+            out,
+            "    {name}: {} byte(s) over the network (locality {:.0}%), \
+             reduce imbalance {:.2}, makespan {:.3}s",
+            o.network_bytes,
+            100.0 * o.locality_fraction(),
+            o.reduce_imbalance(),
+            o.report.makespan_secs
+        )?;
+    }
+    if a.network_bytes > 0 {
+        writeln!(
+            out,
+            "    network bytes cut {:.2}x vs hash partitioning",
+            h.network_bytes as f64 / a.network_bytes as f64
+        )?;
+    } else {
+        writeln!(
+            out,
+            "    aware plan kept the entire shuffle node-local \
+             (hash moved {} byte(s))",
+            h.network_bytes
+        )?;
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let ds = DatasetFile::load(Path::new(args.require("dataset")?))?;
     let id: u64 = args
@@ -623,6 +731,9 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "  improvement: {:.1}%",
         100.0 * (1.0 - with.total_secs() / without.total_secs())
     )?;
+    if let Some(p) = shuffle_args(args)? {
+        print_shuffle_comparison(out, &dfs, &view, s, &job, &p, &ana)?;
+    }
     if let Some(obs) = &with.obs {
         writeln!(
             out,
@@ -684,6 +795,7 @@ fn cmd_pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let dfs = ds.to_dfs();
     let arr = ElasticMapArray::build(&dfs, &Separation::Alpha(alpha));
     let mut env = PipelineEnv::new(&dfs, &arr);
+    env.shuffle = shuffle_args(args)?;
     let (rec, obs) = recorder(args)?;
     let pipe = Pipeline::new(spec);
     let report = if args.flag("resume") {
@@ -729,6 +841,16 @@ fn cmd_pipeline(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         report.output.digest,
         dirs.len()
     )?;
+    if let Some(p) = &env.shuffle {
+        // The join pipeline's aggregate stage is a word count, so the
+        // comparison prices every job the pipeline can run.
+        let profile = match args.get("job").unwrap_or("wordcount") {
+            "join" => word_count_profile(),
+            name => job_by_name(name)?,
+        };
+        let view = arr.view(s);
+        print_shuffle_comparison(out, &dfs, &view, s, &profile, p, &env.analysis)?;
+    }
     if let Some(path) = args.get("json") {
         let bytes = serde_json::to_vec_pretty(&report)
             .map_err(|e| ArgError(format!("cannot serialise report: {e}")))?;
@@ -1442,7 +1564,10 @@ mod tests {
         // Build a genuinely failing repro with the planted-bug hook, then
         // make sure the CLI replays it to the same verdict and exits
         // through the Check error path (non-zero, no usage spam).
-        let opts = CheckOptions { credit_skew: 1 };
+        let opts = CheckOptions {
+            credit_skew: 1,
+            ..CheckOptions::default()
+        };
         let min = shrink(&Scenario::from_seed(5), &opts).expect("planted bug fails");
         let path = tmp("repro.json");
         Repro {
@@ -1561,7 +1686,10 @@ mod tests {
     #[test]
     fn repro_replay_prints_the_violated_oracle_set() {
         use datanet_check::{shrink, CheckOptions, Repro, Scenario};
-        let opts = CheckOptions { credit_skew: 1 };
+        let opts = CheckOptions {
+            credit_skew: 1,
+            ..CheckOptions::default()
+        };
         let min = shrink(&Scenario::from_seed(5), &opts).expect("planted bug fails");
         let path = tmp("repro-oracles.json");
         Repro {
@@ -1587,6 +1715,91 @@ mod tests {
         assert!(s.contains("violated oracle set: "), "{s}");
         assert!(s.contains("greedy-conservation"), "{s}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_prints_the_shuffle_comparison_when_enabled() {
+        let ds = tmp("shuf-sim-ds.json");
+        run(&format!(
+            "gen movies --records 20000 --nodes 8 --block-kb 64 --out {ds}"
+        ))
+        .unwrap();
+
+        // Off by default: no shuffle section.
+        let s = run(&format!("simulate --dataset {ds} --subdataset 0")).unwrap();
+        assert!(!s.contains("shuffle ["), "{s}");
+
+        let s = run(&format!(
+            "simulate --dataset {ds} --subdataset 0 --shuffle aware \
+             --key-ranges 16 --split-factor 1.1"
+        ))
+        .unwrap();
+        assert!(s.contains("shuffle [aware]: 16 key range(s)"), "{s}");
+        assert!(s.contains("hash :"), "{s}");
+        assert!(s.contains("aware:"), "{s}");
+        assert!(s.contains("reduce imbalance"), "{s}");
+
+        // Bad flag values die before the simulation runs.
+        for bad in [
+            "--shuffle sideways",
+            "--shuffle aware --key-ranges 1",
+            "--shuffle aware --split-factor 0.5",
+        ] {
+            let err = run(&format!("simulate --dataset {ds} --subdataset 0 {bad}")).unwrap_err();
+            assert!(matches!(err, CliError::Args(_)), "{bad}: {err}");
+        }
+        let _ = std::fs::remove_file(&ds);
+    }
+
+    #[test]
+    fn pipeline_routes_through_the_partitioner_without_changing_answers() {
+        let ds = tmp("shuf-pipe-ds.json");
+        let ckpt_off = tmp("shuf-pipe-off");
+        let ckpt_aware = tmp("shuf-pipe-aware");
+        let ckpt_hash = tmp("shuf-pipe-hash");
+        for d in [&ckpt_off, &ckpt_aware, &ckpt_hash] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        run(&format!(
+            "gen movies --records 20000 --nodes 8 --block-kb 64 --out {ds}"
+        ))
+        .unwrap();
+
+        let digest_of = |s: &str| {
+            s.split("digest ")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        let off = run(&format!(
+            "pipeline --dataset {ds} --subdataset 0 --ckpt {ckpt_off}"
+        ))
+        .unwrap();
+        assert!(!off.contains("shuffle ["), "{off}");
+        let aware = run(&format!(
+            "pipeline --dataset {ds} --subdataset 0 --ckpt {ckpt_aware} --shuffle aware"
+        ))
+        .unwrap();
+        assert!(
+            aware.contains("shuffle [aware]: 32 key range(s)"),
+            "{aware}"
+        );
+        let hash = run(&format!(
+            "pipeline --dataset {ds} --subdataset 0 --ckpt {ckpt_hash} --shuffle hash"
+        ))
+        .unwrap();
+        assert!(hash.contains("shuffle [hash]"), "{hash}");
+        // Routing may move bytes, never answers: all three digests agree.
+        assert_eq!(digest_of(&off), digest_of(&aware));
+        assert_eq!(digest_of(&off), digest_of(&hash));
+
+        let _ = std::fs::remove_file(&ds);
+        for d in [&ckpt_off, &ckpt_aware, &ckpt_hash] {
+            let _ = std::fs::remove_dir_all(d);
+        }
     }
 
     #[test]

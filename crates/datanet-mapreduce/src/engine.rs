@@ -20,8 +20,9 @@
 //! and the reason imbalanced maps inflate shuffle times 4–5× in Figure 7.
 
 use crate::job::JobProfile;
-use crate::report::{ExecutionReport, FaultStats, JobReport, SelectionOutcome};
+use crate::report::{ExecutionReport, FaultStats, JobReport, SelectionOutcome, ShuffleOutcome};
 use crate::scheduler::{MapScheduler, ResilientScheduler};
+use crate::shuffle::{self, ShufflePlan};
 use datanet::store::MetaStore;
 use datanet::{AggregationPlan, RetryBudget};
 use datanet_cluster::{
@@ -757,6 +758,194 @@ pub fn run_analysis_hetero(
         SimTime::ZERO,
         &Recorder::off(),
     )
+}
+
+/// Run one analysis job routed by a [`ShufflePlan`] over a per-(node,
+/// key-range) byte matrix (one row per node — see
+/// [`crate::shuffle::range_matrix_truth`]). Map timing matches
+/// [`run_analysis`] on the row sums; the shuffle sends each mapper's
+/// output to the plan's per-range reducers (fragments of split ranges
+/// spread by their shares, all integer splits largest-remainder exact),
+/// and each reducer processes exactly what it received rather than a
+/// uniform share.
+pub fn run_analysis_shuffled(
+    matrix: &[Vec<u64>],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    plan: &ShufflePlan,
+) -> ShuffleOutcome {
+    run_analysis_shuffled_traced(matrix, profile, cfg, plan, SimTime::ZERO, &Recorder::off())
+}
+
+/// [`run_analysis_shuffled`] with a [`Recorder`] attached; emits the same
+/// span vocabulary as [`run_analysis_traced`] (`map`/`shuffle`/`reduce`
+/// tasks under one `analysis` phase), shifted by `base`.
+pub fn run_analysis_shuffled_traced(
+    matrix: &[Vec<u64>],
+    profile: &JobProfile,
+    cfg: &AnalysisConfig,
+    plan: &ShufflePlan,
+    base: SimTime,
+    rec: &Recorder,
+) -> ShuffleOutcome {
+    profile.validate();
+    plan.validate();
+    let m = matrix.len();
+    assert!(m > 0, "need at least one node");
+    let ranges = plan.key_ranges();
+    assert!(
+        matrix.iter().all(|row| row.len() == ranges),
+        "matrix width must match the plan's key ranges"
+    );
+    assert_eq!(plan.reducers.len(), m, "one reducer slot per node expected");
+    assert!(
+        plan.reducers.iter().all(|r| r.index() < m),
+        "reducer outside the cluster"
+    );
+    let mut cluster = SimCluster::homogeneous(m, cfg.spec);
+    let filtered: Vec<u64> = matrix.iter().map(|row| row.iter().sum()).collect();
+
+    // --- Map phase: identical to `run_analysis_on` over the row sums.
+    let mut map_end = vec![SimTime::ZERO; m];
+    let mut map_secs = Vec::with_capacity(m);
+    for (i, &bytes) in filtered.iter().enumerate() {
+        let (_, read_end) = cluster.node_mut(i).read_disk(cfg.task_overhead, bytes);
+        let (_, cpu_end) = cluster
+            .node_mut(i)
+            .compute(read_end, bytes, profile.map_compute_factor);
+        map_end[i] = cpu_end;
+        map_secs.push(cpu_end.as_secs_f64());
+        let span = rec.begin(
+            Category::Task,
+            "map",
+            Domain::Sim,
+            base.as_micros(),
+            SpanCtx::default().node(i),
+        );
+        rec.end(span, (base + cpu_end).as_micros());
+        rec.observe("map_us", cpu_end.as_micros());
+    }
+    let first_map_end = map_end.iter().copied().min().unwrap_or(SimTime::ZERO);
+
+    // --- Shuffle: mapper i's output is apportioned over its own key-range
+    // column weights, each range's cell split over the plan's fragments,
+    // and everything bound for one reducer slot batched into a single
+    // transfer. Largest-remainder at both levels keeps the inflows summing
+    // exactly to the total map output.
+    let r_count = plan.reducers.len();
+    let mut last_arrival = vec![first_map_end; r_count];
+    let mut received = vec![0u64; r_count];
+    let mut network_bytes = 0u64;
+    let mut local_bytes = 0u64;
+    for i in 0..m {
+        let out = profile.map_output_bytes(filtered[i]);
+        if out == 0 {
+            continue;
+        }
+        let cells = crate::skewtune::apportion(out, &matrix[i]);
+        let mut send = vec![0u64; r_count];
+        for (g, &cell) in cells.iter().enumerate() {
+            if cell == 0 {
+                continue;
+            }
+            let frags = &plan.assignments[g];
+            if frags.len() == 1 {
+                send[frags[0].reducer] += cell;
+            } else {
+                let shares: Vec<f64> = frags.iter().map(|f| f.share).collect();
+                for (f, bytes) in frags.iter().zip(shuffle::apportion_shares(cell, &shares)) {
+                    send[f.reducer] += bytes;
+                }
+            }
+        }
+        for (ri, &bytes) in send.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            received[ri] += bytes;
+            let rnode = plan.reducers[ri];
+            if rnode.index() == i {
+                local_bytes += bytes;
+                last_arrival[ri] = last_arrival[ri].max(map_end[i]);
+            } else {
+                let (_, arr) = cluster.transfer(i, rnode.index(), map_end[i], bytes);
+                network_bytes += bytes;
+                last_arrival[ri] = last_arrival[ri].max(arr);
+            }
+        }
+    }
+    let shuffle_secs: Vec<f64> = last_arrival
+        .iter()
+        .map(|&t| t.saturating_sub(first_map_end).as_secs_f64())
+        .collect();
+    for (ri, &rnode) in plan.reducers.iter().enumerate() {
+        let span = rec.begin(
+            Category::Phase,
+            "shuffle",
+            Domain::Sim,
+            (base + first_map_end).as_micros(),
+            SpanCtx::default().node(rnode.index()),
+        );
+        rec.end(span, (base + last_arrival[ri]).as_micros());
+    }
+    rec.add("shuffle_bytes", network_bytes);
+
+    // --- Reduce: each reducer processes exactly its inflow.
+    let mut reduce_secs = Vec::with_capacity(r_count);
+    let mut makespan = map_end.iter().copied().max().unwrap_or(SimTime::ZERO);
+    for (ri, &rnode) in plan.reducers.iter().enumerate() {
+        let inflow = received[ri];
+        let ready = last_arrival[ri];
+        let end = if inflow == 0 || profile.reduce_compute_factor == 0.0 {
+            ready
+        } else {
+            let ready = ready + cfg.task_overhead;
+            let (_, cpu_end) = cluster.node_mut(rnode.index()).compute(
+                ready,
+                inflow,
+                profile.reduce_compute_factor,
+            );
+            let (_, w_end) = cluster.node_mut(rnode.index()).write_disk(cpu_end, inflow);
+            w_end
+        };
+        reduce_secs.push((end.saturating_sub(ready)).as_secs_f64());
+        makespan = makespan.max(end);
+        let span = rec.begin(
+            Category::Task,
+            "reduce",
+            Domain::Sim,
+            (base + ready).as_micros(),
+            SpanCtx::default().node(rnode.index()),
+        );
+        rec.end(span, (base + end).as_micros());
+        rec.observe("reduce_us", end.saturating_sub(ready).as_micros());
+    }
+    let phase = rec.begin(
+        Category::Phase,
+        "analysis",
+        Domain::Sim,
+        base.as_micros(),
+        SpanCtx::default().note(profile.name.clone()),
+    );
+    rec.end(phase, (base + makespan).as_micros());
+
+    let cpu_util = (0..m)
+        .map(|i| cluster.node(i).cpu().utilisation(makespan))
+        .collect();
+    ShuffleOutcome {
+        report: JobReport {
+            job: profile.name.clone(),
+            map_secs,
+            shuffle_secs,
+            reduce_secs,
+            makespan_secs: makespan.as_secs_f64(),
+            shuffle_bytes: network_bytes,
+            cpu_util,
+        },
+        received,
+        network_bytes,
+        local_bytes,
+    }
 }
 
 /// Effective map throughput of a node for a given job, in bytes/second:

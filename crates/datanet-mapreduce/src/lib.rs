@@ -25,24 +25,34 @@ pub mod engine;
 pub mod job;
 pub mod report;
 pub mod scheduler;
+pub mod shuffle;
 pub mod skewtune;
 pub mod speculation;
 
 pub use engine::{
     capability_of, run_analysis, run_analysis_aggregated, run_analysis_aggregated_traced,
-    run_analysis_hetero, run_analysis_surviving, run_analysis_surviving_traced,
-    run_analysis_traced, run_pipeline, run_pipeline_faulty, run_pipeline_faulty_traced,
-    run_pipeline_traced, run_selection, run_selection_faulty, run_selection_faulty_traced,
-    run_selection_resilient, run_selection_resilient_traced, run_selection_traced, AnalysisConfig,
-    FaultConfig, SelectionConfig,
+    run_analysis_hetero, run_analysis_shuffled, run_analysis_shuffled_traced,
+    run_analysis_surviving, run_analysis_surviving_traced, run_analysis_traced, run_pipeline,
+    run_pipeline_faulty, run_pipeline_faulty_traced, run_pipeline_traced, run_selection,
+    run_selection_faulty, run_selection_faulty_traced, run_selection_resilient,
+    run_selection_resilient_traced, run_selection_traced, AnalysisConfig, FaultConfig,
+    SelectionConfig,
 };
 pub use job::JobProfile;
-pub use report::{total_secs, ExecutionReport, FaultStats, JobReport, SelectionOutcome};
+pub use report::{
+    total_secs, ExecutionReport, FaultStats, JobReport, SelectionOutcome, ShuffleOutcome,
+};
 pub use scheduler::{
     DataNetScheduler, DelayScheduler, LocalityScheduler, MapScheduler, PlannedScheduler,
     ResilientScheduler,
 };
-pub use skewtune::{rebalance, MigrationOutcome};
+pub use shuffle::{
+    key_range_of, planned_load_bound, range_matrix_estimate, range_matrix_truth, Fragment,
+    ShufflePlan, ShufflePlanner,
+};
+pub use skewtune::{
+    apportion, fragments_needed, rebalance, split_even, split_threshold, MigrationOutcome,
+};
 pub use speculation::{
     speculative_map_phase, speculative_map_phase_with_slowdowns, SpeculationConfig,
     SpeculativeMapOutcome,

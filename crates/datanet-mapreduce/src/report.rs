@@ -172,6 +172,47 @@ impl JobReport {
     }
 }
 
+/// A shuffle-planned analysis run: the [`JobReport`] plus the byte-level
+/// routing accounting the shuffle oracles and the `shuffle` bench gate
+/// read. Kept separate from [`JobReport`] so existing serialized reports
+/// stay byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleOutcome {
+    /// The standard job report (its `shuffle_bytes` equals
+    /// [`ShuffleOutcome::network_bytes`]).
+    pub report: JobReport,
+    /// Map-output bytes each reducer slot received, local and remote —
+    /// sums exactly to the total map output (conservation oracle).
+    pub received: Vec<u64>,
+    /// Bytes that crossed the simulated network.
+    pub network_bytes: u64,
+    /// Bytes that stayed on their mapper's node — the locality win.
+    pub local_bytes: u64,
+}
+
+impl ShuffleOutcome {
+    /// Fraction of the map output that never left its node.
+    pub fn locality_fraction(&self) -> f64 {
+        let total = self.network_bytes + self.local_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_bytes as f64 / total as f64
+        }
+    }
+
+    /// Largest reducer inflow over the mean — the reduce-skew metric.
+    pub fn reduce_imbalance(&self) -> f64 {
+        let total: u64 = self.received.iter().sum();
+        let max = self.received.iter().copied().max().unwrap_or(0);
+        if total == 0 {
+            1.0
+        } else {
+            max as f64 * self.received.len() as f64 / total as f64
+        }
+    }
+}
+
 /// A full pipeline run: selection followed by one analysis job.
 #[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ExecutionReport {

@@ -1,4 +1,5 @@
-//! The runtime-migration baseline (Section V-A-4).
+//! The runtime-migration baseline (Section V-A-4), and the split primitives
+//! it generalises into.
 //!
 //! SkewTune-style systems fix imbalance *after the fact*: once the selection
 //! phase has materialised skewed partitions, they migrate data from
@@ -6,6 +7,13 @@
 //! workload "the overall percentage of data migration is more than 30%" and
 //! argues the network cost makes this strictly worse than DataNet's
 //! proactive balancing. This module reproduces that comparison.
+//!
+//! The same fair-share arithmetic, applied *before* the shuffle instead of
+//! after it, is what the distribution-aware partitioner in [`crate::shuffle`]
+//! builds on: [`split_threshold`] decides when a key range is too heavy for
+//! one reducer, [`fragments_needed`] how many reducers it must span, and
+//! [`split_even`]/[`apportion`] produce the exact (largest-remainder) byte
+//! splits that keep the conservation oracles byte-exact.
 
 use datanet_cluster::{NodeSpec, SimCluster, SimTime};
 use serde::{Deserialize, Serialize};
@@ -98,6 +106,86 @@ pub fn rebalance(partitions: &[u64], spec: &NodeSpec) -> MigrationOutcome {
     }
 }
 
+/// The split threshold: bytes one reducer is willing to absorb for a single
+/// key range before the range must split across reducers. `split_factor`
+/// scales the fair share (`total / reducers`): 1.0 splits anything above a
+/// perfectly even share, larger values tolerate proportionally more skew
+/// before paying the split/merge overhead. Never below one byte, so an
+/// empty job still yields a usable threshold.
+///
+/// # Panics
+/// Panics if `reducers == 0` or `split_factor` is not finite and ≥ 1.
+pub fn split_threshold(total: u64, reducers: usize, split_factor: f64) -> u64 {
+    assert!(reducers > 0, "need at least one reducer");
+    assert!(
+        split_factor.is_finite() && split_factor >= 1.0,
+        "split factor must be a finite value >= 1"
+    );
+    let fair = total as f64 / reducers as f64;
+    ((fair * split_factor).ceil() as u64).max(1)
+}
+
+/// Number of fragments a key range of `bytes` splits into under
+/// `threshold`: `ceil(bytes / threshold)`, and 1 for an empty range (it
+/// still needs a home reducer).
+///
+/// # Panics
+/// Panics if `threshold == 0`.
+pub fn fragments_needed(bytes: u64, threshold: u64) -> usize {
+    assert!(threshold > 0, "split threshold must be positive");
+    if bytes == 0 {
+        1
+    } else {
+        bytes.div_ceil(threshold) as usize
+    }
+}
+
+/// Exact even split of `bytes` into `parts` fragments: the first
+/// `bytes % parts` fragments carry one extra byte, and the fragments sum to
+/// `bytes` exactly.
+///
+/// # Panics
+/// Panics if `parts == 0`.
+pub fn split_even(bytes: u64, parts: usize) -> Vec<u64> {
+    assert!(parts > 0, "need at least one fragment");
+    let q = bytes / parts as u64;
+    let r = (bytes % parts as u64) as usize;
+    (0..parts).map(|i| q + u64::from(i < r)).collect()
+}
+
+/// Exact largest-remainder apportionment of `total` over integer
+/// `weights`: each part is within one byte of its real-valued proportional
+/// share and the parts sum to `total` exactly (all-zero weights fall back
+/// to [`split_even`]). This is the integer arithmetic that keeps the
+/// engine's shuffle byte-conservation exact instead of drifting by one
+/// byte per rounded share.
+///
+/// # Panics
+/// Panics if `weights` is empty.
+pub fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
+    assert!(!weights.is_empty(), "need at least one weight");
+    let wsum: u64 = weights.iter().sum();
+    if wsum == 0 {
+        return split_even(total, weights.len());
+    }
+    let mut out = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        let num = total as u128 * w as u128;
+        out.push((num / wsum as u128) as u64);
+        assigned += out[i];
+        remainders.push((num % wsum as u128, i));
+    }
+    // Hand the leftover bytes to the largest fractional remainders,
+    // lowest index first on ties, so the split is deterministic.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter().take((total - assigned) as usize) {
+        out[i] += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +241,94 @@ mod tests {
     #[should_panic]
     fn empty_partitions_rejected() {
         rebalance(&[], &NodeSpec::marmot());
+    }
+
+    // --- Split-threshold edge cases (the arithmetic the shuffle planner
+    // generalises this module into).
+
+    #[test]
+    fn single_dominant_key_spans_the_whole_cluster() {
+        // One key holds every byte: at split_factor 1.0 it must fragment
+        // into exactly as many pieces as there are reducers, and the even
+        // split hands each reducer the fair share.
+        let thr = split_threshold(4_000, 4, 1.0);
+        assert_eq!(thr, 1_000);
+        assert_eq!(fragments_needed(4_000, thr), 4);
+        assert_eq!(split_even(4_000, 4), vec![1_000; 4]);
+        // The migration view of the same shape: 3/4 of the data moves —
+        // the after-the-fact cost the proactive split avoids.
+        let out = rebalance(&[4_000, 0, 0, 0], &NodeSpec::marmot());
+        assert!((out.fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_equal_keys_never_split() {
+        // Keys exactly at the fair share sit on the threshold boundary and
+        // must stay whole at every tolerated split factor.
+        for factor in [1.0, 1.25, 1.5, 2.0] {
+            let thr = split_threshold(4_000, 4, factor);
+            for bytes in [1_000u64; 4] {
+                assert_eq!(fragments_needed(bytes, thr), 1, "factor {factor}");
+            }
+        }
+        let out = rebalance(&[1_000; 4], &NodeSpec::marmot());
+        assert_eq!(out.moved_bytes, 0);
+    }
+
+    #[test]
+    fn key_heavier_than_one_fair_share_splits() {
+        // A key at 2.5× the fair share (1000) needs 3 reducers at factor
+        // 1.0 but only 2 once the threshold tolerates 25% overshoot.
+        assert_eq!(fragments_needed(2_500, split_threshold(8_000, 8, 1.0)), 3);
+        assert_eq!(fragments_needed(2_500, split_threshold(8_000, 8, 1.25)), 2);
+        // Just past the threshold still splits; exactly at it does not.
+        assert_eq!(fragments_needed(1_001, split_threshold(8_000, 8, 1.0)), 2);
+        assert_eq!(fragments_needed(1_000, split_threshold(8_000, 8, 1.0)), 1);
+    }
+
+    #[test]
+    fn empty_and_degenerate_ranges_stay_usable() {
+        // Zero total: the threshold floors at one byte so empty jobs do
+        // not divide by zero downstream, and an empty range still gets one
+        // (empty) fragment.
+        assert_eq!(split_threshold(0, 4, 1.5), 1);
+        assert_eq!(fragments_needed(0, 1), 1);
+        assert_eq!(split_even(0, 3), vec![0, 0, 0]);
+        // A single reducer absorbs everything without splitting.
+        let thr = split_threshold(10_000, 1, 1.0);
+        assert_eq!(fragments_needed(10_000, thr), 1);
+    }
+
+    #[test]
+    fn split_even_conserves_and_balances() {
+        for (bytes, parts) in [(10u64, 3usize), (7, 7), (1, 4), (1_000_003, 8)] {
+            let parts_v = split_even(bytes, parts);
+            assert_eq!(parts_v.iter().sum::<u64>(), bytes);
+            let max = *parts_v.iter().max().unwrap();
+            let min = *parts_v.iter().min().unwrap();
+            assert!(max - min <= 1, "{bytes}/{parts}: {parts_v:?}");
+        }
+    }
+
+    #[test]
+    fn apportion_is_exact_and_proportional() {
+        let weights = [931u64, 17, 450, 2, 0, 88, 600, 44];
+        let total = 123_457u64;
+        let parts = apportion(total, &weights);
+        assert_eq!(parts.iter().sum::<u64>(), total);
+        let wsum: u64 = weights.iter().sum();
+        for (i, (&p, &w)) in parts.iter().zip(&weights).enumerate() {
+            let ideal = total as f64 * w as f64 / wsum as f64;
+            assert!((p as f64 - ideal).abs() <= 1.0, "part {i}: {p} vs {ideal}");
+        }
+        // Zero weights get zero bytes; all-zero weights split evenly.
+        assert_eq!(parts[4], 0);
+        assert_eq!(apportion(10, &[0, 0, 0, 0]).iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_factor_below_one_rejected() {
+        split_threshold(1_000, 4, 0.5);
     }
 }

@@ -1,2 +1,107 @@
 //! Cross-crate integration tests live in `/tests`; runnable examples in
-//! `/examples`. This crate only wires them into the workspace build.
+//! `/examples`. This crate wires them into the workspace build and hosts
+//! the shared scaffolding they all lean on.
+
+pub mod testkit {
+    //! Shared scaffolding for the durable-store crash-sweep tests.
+    //!
+    //! Both the checkpointed-pipeline sweep (`tests/pipeline.rs`) and the
+    //! streaming-ingest sweep (`tests/ingest.rs`) exercise the same shape
+    //! of property: a commit plan of N ordered writes is interrupted
+    //! after every prefix, and recovery must land in exactly the state
+    //! the durable prefix implies. The prefix enumeration and the
+    //! resume-point derivation used to be re-derived in each file; they
+    //! live here once now.
+
+    use std::fs;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    /// Self-cleaning replica directories for one checkpoint or metadata
+    /// store. Unique per instantiation (pid + sequence), removed on drop
+    /// including the unwinding path, so a failing assertion leaks
+    /// nothing into the temp dir.
+    pub struct ReplicaDirs {
+        base: PathBuf,
+        dirs: Vec<PathBuf>,
+    }
+
+    impl ReplicaDirs {
+        pub fn new(tag: &str, replicas: usize) -> Self {
+            let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+            let base =
+                std::env::temp_dir().join(format!("datanet-it-{tag}-{}-{seq}", std::process::id()));
+            let _ = fs::remove_dir_all(&base);
+            let dirs = (0..replicas)
+                .map(|i| base.join(format!("replica-{i}")))
+                .collect();
+            Self { base, dirs }
+        }
+
+        pub fn paths(&self) -> Vec<&Path> {
+            self.dirs.iter().map(PathBuf::as_path).collect()
+        }
+    }
+
+    impl Drop for ReplicaDirs {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.base);
+        }
+    }
+
+    /// Every crash point of a `writes`-write durable plan, in order:
+    /// nothing landed, each proper prefix, and all writes landed. Sweep
+    /// tests iterate this instead of hand-rolling `0..=n` bounds.
+    pub fn write_prefixes(writes: usize) -> impl Iterator<Item = usize> {
+        0..=writes
+    }
+
+    /// Where a checkpointed pipeline resumes after a crash `applied` of
+    /// `planned` writes into `stage`: the full plan makes the crashed
+    /// stage durable; any shorter prefix rolls back to the previous
+    /// stage, or to a fresh run when the first stage was interrupted.
+    pub fn expected_resume_from(stage: usize, applied: usize, planned: usize) -> Option<u64> {
+        if applied == planned {
+            Some(stage as u64)
+        } else if stage > 0 {
+            Some(stage as u64 - 1)
+        } else {
+            None
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn prefix_sweep_covers_every_crash_point() {
+            assert_eq!(write_prefixes(3).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+            assert_eq!(write_prefixes(0).collect::<Vec<_>>(), vec![0]);
+        }
+
+        #[test]
+        fn resume_point_matches_the_durability_rule() {
+            assert_eq!(expected_resume_from(2, 3, 3), Some(2));
+            assert_eq!(expected_resume_from(2, 1, 3), Some(1));
+            assert_eq!(expected_resume_from(0, 0, 3), None);
+            assert_eq!(expected_resume_from(0, 3, 3), Some(0));
+        }
+
+        #[test]
+        fn replica_dirs_clean_up_after_themselves() {
+            let base;
+            {
+                let dirs = ReplicaDirs::new("selftest", 2);
+                base = dirs.paths()[0].parent().unwrap().to_path_buf();
+                for p in dirs.paths() {
+                    fs::create_dir_all(p).unwrap();
+                }
+                assert!(base.exists());
+            }
+            assert!(!base.exists(), "drop must remove the tree");
+        }
+    }
+}

@@ -5,11 +5,10 @@
 
 use datanet::{ElasticMapArray, IngestConfig, Ingestor, MetaStore, Separation};
 use datanet_dfs::{Dfs, DfsConfig, Record, SubDatasetId, Topology};
+use datanet_integration::testkit::{write_prefixes, ReplicaDirs};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::fs;
-use std::path::{Path, PathBuf};
 
 const ALPHA: f64 = 0.35;
 
@@ -37,19 +36,6 @@ fn cfg(compact_every: usize) -> IngestConfig {
         compact_every,
         shard_blocks: 4,
     }
-}
-
-fn tmpdirs(tag: &str, k: usize) -> Vec<PathBuf> {
-    (0..k)
-        .map(|i| {
-            let d = std::env::temp_dir().join(format!(
-                "datanet-it-ingest-{tag}-r{i}-{}",
-                std::process::id()
-            ));
-            let _ = fs::remove_dir_all(&d);
-            d
-        })
-        .collect()
 }
 
 /// Property: any two arrival orders — with different compaction cadences —
@@ -94,8 +80,8 @@ fn arrival_order_is_immaterial_after_final_compaction() {
 #[test]
 fn v3_store_resumes_mid_ingest_without_resummarizing() {
     let dfs = sample_dfs(42);
-    let dirs = tmpdirs("resume", 2);
-    let refs: Vec<&Path> = dirs.iter().map(|p| p.as_path()).collect();
+    let dirs = ReplicaDirs::new("ingest-resume", 2);
+    let refs = dirs.paths();
     let cut = dfs.block_count() * 2 / 3;
 
     let mut first = Ingestor::new(cfg(5));
@@ -132,8 +118,63 @@ fn v3_store_resumes_mid_ingest_without_resummarizing() {
         serde_json::to_string(&ElasticMapArray::build(&dfs, &Separation::Alpha(ALPHA))).unwrap(),
         "resume lost equivalence with the batch build"
     );
-    for d in &dirs {
-        let _ = fs::remove_dir_all(d);
+}
+
+/// Crash-prefix sweep, ingest side: a commit interrupted after *every*
+/// write prefix of its plan resumes from whatever stayed durable, and
+/// re-feeding the swallowed arrivals always converges back to the batch
+/// build — the same sweep shape as the pipeline's checkpoint test, via
+/// the shared `testkit` helpers.
+#[test]
+fn commit_crash_at_every_write_prefix_resumes_to_batch_equivalence() {
+    let dfs = sample_dfs(44);
+    let cut = dfs.block_count() / 2;
+    let batch =
+        serde_json::to_string(&ElasticMapArray::build(&dfs, &Separation::Alpha(ALPHA))).unwrap();
+
+    // One probe commit to learn the plan width for this stream shape.
+    let plan_writes = {
+        let mut ing = Ingestor::new(cfg(5));
+        for b in &dfs.blocks()[..cut] {
+            ing.append(b, 0);
+        }
+        ing.commit_plan()
+            .expect("pending work plans writes")
+            .writes()
+    };
+    assert!(plan_writes >= 2, "sweep needs a multi-write plan");
+
+    for prefix in write_prefixes(plan_writes) {
+        let dirs = ReplicaDirs::new("ingest-sweep", 2);
+        let refs = dirs.paths();
+        let mut ing = Ingestor::new(cfg(5));
+        for b in &dfs.blocks()[..cut] {
+            ing.append(b, 0);
+        }
+        let plan = ing.commit_plan().expect("pending work plans writes");
+        assert_eq!(plan.writes(), plan_writes, "plan width is deterministic");
+        plan.apply_prefix(&refs, prefix).unwrap();
+        drop(ing); // the "crash": nothing past the prefix survives
+
+        let mut resumed = Ingestor::resume(cfg(5), &refs).unwrap();
+        assert_eq!(
+            resumed.stats().summaries_built,
+            0,
+            "prefix {prefix}: resume redid summary work"
+        );
+        assert!(
+            resumed.blocks() <= cut,
+            "prefix {prefix}: resume adopted more blocks than were fed"
+        );
+        for b in &dfs.blocks()[resumed.blocks()..] {
+            resumed.append(b, 0);
+        }
+        resumed.commit(&refs).unwrap();
+        assert_eq!(
+            serde_json::to_string(&resumed.snapshot()).unwrap(),
+            batch,
+            "prefix {prefix}: resumed stream diverged from the batch build"
+        );
     }
 }
 
@@ -142,8 +183,8 @@ fn v3_store_resumes_mid_ingest_without_resummarizing() {
 #[test]
 fn committed_epochs_time_travel_through_the_store() {
     let dfs = sample_dfs(43);
-    let dirs = tmpdirs("travel", 2);
-    let refs: Vec<&Path> = dirs.iter().map(|p| p.as_path()).collect();
+    let dirs = ReplicaDirs::new("ingest-travel", 2);
+    let refs = dirs.paths();
     let target = SubDatasetId(1);
     let mut ing = Ingestor::new(cfg(4));
     let mut frozen = Vec::new();
@@ -166,8 +207,5 @@ fn committed_epochs_time_travel_through_the_store() {
             want,
             "epoch {epoch} answers a different view than it froze"
         );
-    }
-    for d in &dirs {
-        let _ = fs::remove_dir_all(d);
     }
 }

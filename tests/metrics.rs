@@ -176,7 +176,10 @@ fn per_query_span_totals_reconcile_with_execution_report() {
 #[test]
 fn shrunk_repro_embeds_flight_recording() {
     let sc = Scenario::from_seed(3);
-    let opts = CheckOptions { credit_skew: 1 };
+    let opts = CheckOptions {
+        credit_skew: 1,
+        ..CheckOptions::default()
+    };
     let min = shrink(&sc, &opts).expect("planted credit skew must fail");
 
     // Instrumented re-run of the *shrunk* scenario, exactly as the CLI

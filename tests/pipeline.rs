@@ -12,13 +12,12 @@ use datanet_analytics::{
 use datanet_bench::{movie_dataset, NODES};
 use datanet_check::Scenario;
 use datanet_dfs::SubDatasetId;
+use datanet_integration::testkit::{expected_resume_from, write_prefixes, ReplicaDirs as TmpDirs};
 use datanet_mapreduce::{
     run_analysis, run_selection, AnalysisConfig, DataNetScheduler, LocalityScheduler,
     SelectionConfig,
 };
 use datanet_obs::Recorder;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Run selection under both schedulers once (shared by several tests).
 fn both_selections() -> (
@@ -129,38 +128,6 @@ fn shuffle_gap_shrinks_with_datanet() {
     );
 }
 
-/// Self-cleaning checkpoint replica directories for the pipeline tests.
-struct TmpDirs {
-    base: PathBuf,
-    dirs: Vec<PathBuf>,
-}
-
-static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-
-impl TmpDirs {
-    fn new(tag: &str, replicas: usize) -> Self {
-        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
-        let base = std::env::temp_dir().join(format!(
-            "datanet-pipeline-{tag}-{}-{seq}",
-            std::process::id()
-        ));
-        let dirs = (0..replicas)
-            .map(|i| base.join(format!("replica-{i}")))
-            .collect();
-        Self { base, dirs }
-    }
-
-    fn paths(&self) -> Vec<&Path> {
-        self.dirs.iter().map(PathBuf::as_path).collect()
-    }
-}
-
-impl Drop for TmpDirs {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.base);
-    }
-}
-
 /// Satellite property, integration level: for *every* stage of a
 /// multi-stage pipeline and *every* write prefix of that stage's
 /// checkpoint plan, a crash at that point leaves the previous stage
@@ -191,7 +158,7 @@ fn crash_at_every_stage_and_write_prefix_resumes_exactly() {
         for stage in 0..pipe.len() {
             // Every checkpoint plan writes payload + stage manifest + live
             // manifest; sweep every prefix including "all of them landed".
-            for prefix in 0..=3u64 {
+            for prefix in write_prefixes(3) {
                 let dirs = TmpDirs::new("crash", 2);
                 let int = pipe
                     .run_interrupted(
@@ -199,26 +166,20 @@ fn crash_at_every_stage_and_write_prefix_resumes_exactly() {
                         &dirs.paths(),
                         CrashPoint {
                             stage,
-                            write_prefix: prefix,
+                            write_prefix: prefix as u64,
                         },
                         &Recorder::off(),
                     )
                     .expect("interrupted run");
                 assert_eq!(int.crash_stage, stage);
-                assert_eq!(int.applied_writes, prefix as usize);
+                assert_eq!(int.applied_writes, prefix);
 
                 let resumed = pipe
                     .resume(&mut mk_env(), &dirs.paths(), &Recorder::off())
                     .expect("resume after crash");
-                let expected_from = if int.applied_writes == int.plan_writes {
-                    Some(stage as u64)
-                } else if stage > 0 {
-                    Some(stage as u64 - 1)
-                } else {
-                    None
-                };
                 assert_eq!(
-                    resumed.resumed_from, expected_from,
+                    resumed.resumed_from,
+                    expected_resume_from(stage, int.applied_writes, int.plan_writes),
                     "seed {seed}: crash {prefix}/3 writes into stage {stage}"
                 );
                 assert_eq!(

@@ -58,7 +58,10 @@ fn planted_credit_bug_is_caught_and_shrunk() {
         "seed {seed} must be clean without the planted bug"
     );
 
-    let opts = CheckOptions { credit_skew: 1 };
+    let opts = CheckOptions {
+        credit_skew: 1,
+        ..CheckOptions::default()
+    };
     let out = check_scenario_with(&sc, &opts);
     assert!(
         out.violations
@@ -91,12 +94,62 @@ fn planted_credit_bug_is_caught_and_shrunk() {
     assert!(shrunk.scenario.nodes <= sc.nodes);
 }
 
+/// Acceptance self-test for the shuffle axis: a planted planner bug that
+/// funnels every key range onto reducer 0 (behind the test-only
+/// `plant_reducer_overload` hook) must be caught by the `reduce-skew`
+/// oracle and shrunk to a world of ≤ 8 blocks on ≤ 3 nodes — three
+/// reducers is the arithmetic floor where an all-on-one plan still
+/// exceeds the fair-share bound.
+#[test]
+fn planted_reducer_overload_is_caught_and_shrunk() {
+    let seed = 5u64;
+    let sc = Scenario::from_seed(seed);
+    assert!(
+        check_scenario(&sc).passed(),
+        "seed {seed} must be clean without the planted bug"
+    );
+
+    let opts = CheckOptions {
+        overload_reducer: true,
+        ..CheckOptions::default()
+    };
+    let out = check_scenario_with(&sc, &opts);
+    assert!(
+        out.violations.iter().any(|v| v.oracle == "reduce-skew"),
+        "planted reducer overload not caught: {:#?}",
+        out.violations
+    );
+
+    let shrunk = shrink(&sc, &opts).expect("a failing scenario must shrink");
+    assert!(
+        shrunk
+            .outcome
+            .violations
+            .iter()
+            .any(|v| v.oracle == "reduce-skew"),
+        "shrinking wandered off the original oracle"
+    );
+    assert!(
+        shrunk.outcome.blocks <= 8,
+        "repro still has {} blocks",
+        shrunk.outcome.blocks
+    );
+    assert!(
+        shrunk.outcome.nodes <= 3,
+        "repro still has {} nodes",
+        shrunk.outcome.nodes
+    );
+}
+
 /// A shrunk failure round-trips through a repro file and replays to the
 /// same violations on a fresh process — the file alone is the bug report.
 #[test]
 fn repro_file_replays_identically() {
     let sc = Scenario::from_seed(5);
-    let opts = CheckOptions { credit_skew: 1 };
+    let opts = CheckOptions {
+        credit_skew: 1,
+        ..CheckOptions::default()
+    };
     let shrunk = shrink(&sc, &opts).expect("planted bug must fail");
     let repro = Repro {
         original_seed: 5,
