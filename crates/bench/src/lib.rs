@@ -16,12 +16,14 @@
 pub mod core;
 pub mod ingest;
 pub mod legacy;
+pub mod serve;
 pub mod setup;
 pub mod shuffle;
 pub mod table;
 
 pub use core::{run_core_bench, CoreBenchReport};
 pub use ingest::{run_ingest_bench, IngestBenchReport};
+pub use serve::{run_serve_bench, ServeBenchReport};
 pub use setup::{github_dataset, movie_dataset, MOVIE_BLOCKS, NODES};
 pub use shuffle::{run_shuffle_bench, ShuffleBenchReport};
 pub use table::Table;

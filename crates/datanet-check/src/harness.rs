@@ -6,7 +6,7 @@
 //! documented oracle-by-oracle in DESIGN.md §11 with the paper equation
 //! or section each one enforces.
 
-use crate::scenario::{Corruption, Scenario};
+use crate::scenario::{Corruption, Scenario, ServeEventPlan};
 use datanet::planner::{Algorithm1, Assignment, FordFulkersonPlanner};
 use datanet::{
     checkpoint, ElasticMapArray, IngestConfig, Ingestor, MetaStore, RetryPolicy, Separation,
@@ -26,6 +26,10 @@ use datanet_mapreduce::{
     PlannedScheduler, SelectionConfig, SelectionOutcome, ShufflePlan, ShufflePlanner,
 };
 use datanet_obs::Recorder;
+use datanet_serve::{
+    generate_stream, plan_digest, serve, serve_with_planted_staleness, Disposition, ScriptedEvent,
+    ServeConfig, ServeEvent, StreamConfig, TenantMix, World,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -97,6 +101,11 @@ pub struct CheckOptions {
     /// `ShufflePlanner::plant_reducer_overload`). `true` must trip the
     /// `reduce-skew` oracle.
     pub overload_reducer: bool,
+    /// Make the serving plane's plan cache ignore epoch keys (see
+    /// `PlanCache::plant_staleness`). `true` must trip the
+    /// `serve-cache-coherence` oracle on any scenario whose serve axis
+    /// crosses a world mutation.
+    pub stale_serve_cache: bool,
 }
 
 /// Verdict for one scenario.
@@ -374,6 +383,9 @@ pub fn check_scenario_instrumented(
 
     // ---- streaming ingest: incremental ≡ rebuild at every prefix -----
     ingest_oracles(&mut v, sc, &dfs, &sep);
+
+    // ---- multi-tenant serving plane: conservation, fairness, cache ----
+    serve_oracles(&mut v, sc, &sep, opts);
 
     // Violations close out the flight ring: a dump taken now reads as
     // "…recent events, then what the oracles concluded about them".
@@ -1522,6 +1534,232 @@ fn ingest_oracles(v: &mut Vec<Violation>, sc: &Scenario, dfs: &Dfs, sep: &Separa
                 ),
             ));
         }
+    }
+}
+
+/// Multi-tenant serving-plane oracles (DESIGN.md §18).
+///
+/// * `serve-conservation` — every stream query gets exactly one
+///   disposition (the harness relies on `serve`'s own internal
+///   completeness assert for the "at least one" half, and checks the
+///   counts here): per tenant, `admitted + rejected + shed` equals the
+///   queries that tenant issued, and the per-tenant counters match the
+///   outcome list.
+/// * `serve-fairness` — the three deficit-round-robin invariants that
+///   hold for *any* stream by loop structure alone:
+///   `granted == rounds_backlogged × quantum`,
+///   `served + forfeited == granted`, and
+///   `forfeited ≤ busy_periods × (quantum + max_est)`.
+/// * `serve-cache-coherence` — for every completed query, rebuild the
+///   world at the epoch the outcome claims (replaying the scripted event
+///   prefix against a fresh world — `World::apply` is a pure function, so
+///   this is exact) and recompute the plan from scratch: the served
+///   plan's digest must match the fresh plan's, byte for byte. This is
+///   the oracle the planted `stale_serve_cache` bug must trip.
+/// * `serve-interleaving` — a second run with a different worker count
+///   and schedule seed must produce a byte-identical canonical answers
+///   section, and a cache-off run must agree after normalisation (a
+///   coherent cache changes where plans come from, never what they are).
+fn serve_oracles(v: &mut Vec<Violation>, sc: &Scenario, sep: &Separation, opts: &CheckOptions) {
+    let sp = &sc.serve;
+    let stream = generate_stream(&StreamConfig {
+        tenants: sp.tenants,
+        queries: sp.queries,
+        gap_us: sp.gap_us,
+        subdatasets: sc.subdatasets,
+        mix: TenantMix::ALL[(sp.mix % 3) as usize],
+        seed: sc.seed,
+    });
+    let events: Vec<ScriptedEvent> = sp
+        .events
+        .iter()
+        .map(|e| match *e {
+            ServeEventPlan::Ingest { at_query, blocks } => ScriptedEvent {
+                at_query: at_query.min(sp.queries),
+                event: ServeEvent::IngestCommit {
+                    blocks: blocks.clamp(1, 4),
+                },
+            },
+            ServeEventPlan::NodeLoss { at_query, node } => ScriptedEvent {
+                at_query: at_query.min(sp.queries),
+                event: ServeEvent::NodeLoss {
+                    node: node % sc.nodes,
+                },
+            },
+        })
+        .collect();
+    let world = || World::new(sc.build_dfs(), sc.subdatasets, sep.clone(), sc.seed);
+    let cfg = ServeConfig {
+        workers: sp.workers,
+        queue_cap: sp.queue_cap,
+        quantum_bytes: sp.quantum_kb * 1024,
+        round_us: sp.gap_us.max(1),
+        max_wait_rounds: sp.max_wait_rounds,
+        cache: true,
+        maxflow: false,
+        schedule_seed: sp.schedule_seed,
+    };
+    let run = if opts.stale_serve_cache {
+        serve_with_planted_staleness
+    } else {
+        serve
+    };
+    let report = run(world(), &stream, &events, &cfg, &Recorder::off());
+    let answers = &report.answers;
+
+    // Conservation: dispositions partition the stream, counters agree.
+    if answers.outcomes.len() != stream.len() {
+        v.push(Violation::new(
+            "serve-conservation",
+            format!(
+                "{} outcomes for a {}-query stream",
+                answers.outcomes.len(),
+                stream.len()
+            ),
+        ));
+    }
+    for ts in &answers.tenants {
+        let issued = stream.iter().filter(|q| q.tenant == ts.tenant).count() as u32;
+        let (mut c, mut r, mut s) = (0u32, 0u32, 0u32);
+        for o in answers.outcomes.iter().filter(|o| o.tenant == ts.tenant) {
+            match o.disposition {
+                Disposition::Completed { .. } => c += 1,
+                Disposition::Rejected { .. } => r += 1,
+                Disposition::Shed { .. } => s += 1,
+            }
+        }
+        if c + r + s != issued || (c, r, s) != (ts.admitted, ts.rejected, ts.shed) {
+            v.push(Violation::new(
+                "serve-conservation",
+                format!(
+                    "tenant {}: issued {issued}, outcomes {c}+{r}+{s}, \
+                     stats {}+{}+{}",
+                    ts.tenant, ts.admitted, ts.rejected, ts.shed
+                ),
+            ));
+        }
+    }
+
+    // Fairness: the three DRR invariants, per tenant.
+    for ts in &answers.tenants {
+        if ts.granted_bytes != ts.rounds_backlogged * cfg.quantum_bytes {
+            v.push(Violation::new(
+                "serve-fairness",
+                format!(
+                    "tenant {}: granted {} ≠ {} backlogged rounds × quantum {}",
+                    ts.tenant, ts.granted_bytes, ts.rounds_backlogged, cfg.quantum_bytes
+                ),
+            ));
+        }
+        if ts.served_bytes + ts.forfeited_bytes != ts.granted_bytes {
+            v.push(Violation::new(
+                "serve-fairness",
+                format!(
+                    "tenant {}: served {} + forfeited {} ≠ granted {}",
+                    ts.tenant, ts.served_bytes, ts.forfeited_bytes, ts.granted_bytes
+                ),
+            ));
+        }
+        let bound = ts.busy_periods as u64 * (cfg.quantum_bytes + ts.max_est_bytes);
+        if ts.forfeited_bytes > bound {
+            v.push(Violation::new(
+                "serve-fairness",
+                format!(
+                    "tenant {}: forfeited {} exceeds {} busy periods × \
+                     (quantum + max est {})",
+                    ts.tenant, ts.forfeited_bytes, ts.busy_periods, ts.max_est_bytes
+                ),
+            ));
+        }
+    }
+
+    // Cache coherence: replay every event prefix to rebuild the world at
+    // each reachable epoch, then demand the served digest equal a fresh
+    // plan's digest at the epoch the outcome claims.
+    let mut worlds = vec![world()];
+    for ev in &events {
+        let mut w = worlds.last().expect("never empty").clone();
+        w.apply(&ev.event);
+        worlds.push(w);
+    }
+    let mut fresh: std::collections::HashMap<(u64, datanet::EpochKey), Option<u64>> =
+        std::collections::HashMap::new();
+    for o in &answers.outcomes {
+        let Disposition::Completed {
+            sub,
+            epoch,
+            plan_digest: served,
+            ..
+        } = o.disposition
+        else {
+            continue;
+        };
+        let want = *fresh.entry((sub, epoch)).or_insert_with(|| {
+            worlds
+                .iter()
+                .find(|w| w.epoch_key() == epoch)
+                .map(|w| plan_digest(&w.plan_batch(&[SubDatasetId(sub)], cfg.maxflow)[0]))
+        });
+        match want {
+            None => v.push(Violation::new(
+                "serve-cache-coherence",
+                format!(
+                    "query {} completed at epoch {epoch:?}, which no event \
+                     prefix reaches",
+                    o.id
+                ),
+            )),
+            Some(want) if want != served => v.push(Violation::new(
+                "serve-cache-coherence",
+                format!(
+                    "query {} (sub-dataset {sub}) served plan digest \
+                     {served:#018x} at epoch {epoch:?}; a fresh plan at that \
+                     epoch digests to {want:#018x} — a stale cached plan",
+                    o.id
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+
+    // Interleaving determinism: the canonical answers must not see the
+    // execution plane; and a cache-off run must agree after normalisation.
+    let other = run(
+        world(),
+        &stream,
+        &events,
+        &ServeConfig {
+            workers: sp.workers + 3,
+            schedule_seed: sp.schedule_seed.wrapping_add(0x9E37_79B9),
+            ..cfg
+        },
+        &Recorder::off(),
+    );
+    if other.answers.canonical_json() != answers.canonical_json() {
+        v.push(Violation::new(
+            "serve-interleaving",
+            format!(
+                "answers changed between {} and {} workers",
+                cfg.workers,
+                sp.workers + 3
+            ),
+        ));
+    }
+    let uncached = run(
+        world(),
+        &stream,
+        &events,
+        &ServeConfig {
+            cache: false,
+            ..cfg
+        },
+        &Recorder::off(),
+    );
+    if uncached.answers.normalized() != answers.normalized() {
+        v.push(Violation::new(
+            "serve-interleaving",
+            "cache-on and cache-off runs disagree after normalisation".to_string(),
+        ));
     }
 }
 

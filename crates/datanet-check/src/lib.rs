@@ -31,7 +31,16 @@
 //!   heavy-key split fragments merge to the unrouted job's exact output
 //!   under seeded arrival permutations, with a routed pipeline run
 //!   fingerprint-identical to an unrouted one
-//!   (`split-merge-equivalence`).
+//!   (`split-merge-equivalence`);
+//! * **multi-tenant serving** — every stream query gets exactly one
+//!   disposition with per-tenant counters to match
+//!   (`serve-conservation`), the deficit-round-robin grant accounting
+//!   balances exactly (`serve-fairness`), every completed query's served
+//!   plan is byte-identical to a fresh plan at the epoch it claims —
+//!   rebuilt by replaying the scripted event prefix
+//!   (`serve-cache-coherence`) — and the canonical answers are identical
+//!   across worker counts, schedule seeds and cache on/off
+//!   (`serve-interleaving`).
 //!
 //! On a violation, [`shrink`] reduces the failing scenario to a minimal
 //! repro (fewer records, nodes, fault events, less corruption) that still
@@ -53,7 +62,8 @@ pub use harness::{
 };
 pub use repro::Repro;
 pub use scenario::{
-    Corruption, CrashEvent, IngestPlan, NicEvent, Scenario, ShuffleAxis, SlowEvent,
+    Corruption, CrashEvent, IngestPlan, NicEvent, Scenario, ServeEventPlan, ServePlan, ShuffleAxis,
+    SlowEvent,
 };
 pub use shrink::{shrink, Shrunk};
 

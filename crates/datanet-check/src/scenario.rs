@@ -120,6 +120,48 @@ pub struct ShuffleAxis {
     pub permutation_seed: u64,
 }
 
+/// One scripted world mutation in the serving axis, in raw drawn form:
+/// node indices and anchor positions are reduced modulo the live ranges
+/// at use, so shrinking `nodes` or `queries` keeps the plan well-formed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServeEventPlan {
+    /// An ingest batch commits `blocks` (reduced to `1..=4`) immediately
+    /// before stream position `at_query`.
+    Ingest { at_query: u32, blocks: u32 },
+    /// Node `node % nodes` fail-stops immediately before stream position
+    /// `at_query`.
+    NodeLoss { at_query: u32, node: u32 },
+}
+
+/// Multi-tenant serving axis (PR 10): the query-stream shape, the
+/// admission/quota knobs of the `datanet-serve` frontend, and the
+/// scripted world mutations the epoch-keyed plan cache must track.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServePlan {
+    /// Tenants issuing queries (≥ 1).
+    pub tenants: u32,
+    /// Queries in the stream (≥ 1).
+    pub queries: u32,
+    /// Simulated microseconds between arrivals (also the DRR round
+    /// length).
+    pub gap_us: u64,
+    /// Bounded admission-queue capacity.
+    pub queue_cap: usize,
+    /// DRR quantum in KiB (≥ 1).
+    pub quantum_kb: u64,
+    /// Raw tenant-mix selector (`% 3` picks uniform / skewed /
+    /// adversarial).
+    pub mix: u64,
+    /// Execution-pool workers (≥ 1; answers must not depend on it).
+    pub workers: u32,
+    /// Load-shedding budget in whole rounds.
+    pub max_wait_rounds: u32,
+    /// Worker tie-break seed (answers must not depend on it).
+    pub schedule_seed: u64,
+    /// Scripted world mutations, anchored to stream positions.
+    pub events: Vec<ServeEventPlan>,
+}
+
 /// One fully-expanded simulated world.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -164,6 +206,8 @@ pub struct Scenario {
     pub pipeline: PipelinePlan,
     /// Distribution-aware shuffle planning knobs.
     pub shuffle: ShuffleAxis,
+    /// Multi-tenant serving-plane axis.
+    pub serve: ServePlan,
 }
 
 impl Scenario {
@@ -274,6 +318,43 @@ impl Scenario {
             permutation_seed: rng.gen(),
         };
 
+        // Serving-plane draws append after the shuffle draws — again at
+        // the END of the seed stream, so the whole corpus still expands to
+        // exactly the world it always did (plus a serving axis).
+        let serve = {
+            let queries = rng.gen_range(8u32..40);
+            let ingest_events = rng.gen_range(0usize..=2);
+            let mut events = Vec::new();
+            for _ in 0..ingest_events {
+                events.push(ServeEventPlan::Ingest {
+                    at_query: rng.gen_range(0..=queries),
+                    blocks: rng.gen_range(1u32..=4),
+                });
+            }
+            if rng.gen_bool(0.4) {
+                events.push(ServeEventPlan::NodeLoss {
+                    at_query: rng.gen_range(0..=queries),
+                    node: rng.gen(),
+                });
+            }
+            events.sort_by_key(|e| match *e {
+                ServeEventPlan::Ingest { at_query, .. } => at_query,
+                ServeEventPlan::NodeLoss { at_query, .. } => at_query,
+            });
+            ServePlan {
+                tenants: rng.gen_range(1u32..=4),
+                queries,
+                gap_us: rng.gen_range(200u64..2_000),
+                queue_cap: rng.gen_range(4usize..24),
+                quantum_kb: rng.gen_range(1u64..48),
+                mix: rng.gen(),
+                workers: rng.gen_range(1u32..=4),
+                max_wait_rounds: rng.gen_range(2u32..12),
+                schedule_seed: rng.gen(),
+                events,
+            }
+        };
+
         Self {
             seed: dataset_seed,
             subdatasets,
@@ -294,6 +375,7 @@ impl Scenario {
             ingest,
             pipeline,
             shuffle,
+            serve,
         }
     }
 
@@ -428,6 +510,24 @@ mod tests {
             assert!(
                 sc.shuffle.split_factor >= 1.0 && sc.shuffle.split_factor.is_finite(),
                 "split factor must be a finite value ≥ 1"
+            );
+            assert!(sc.serve.tenants >= 1 && sc.serve.tenants <= 4);
+            assert!(sc.serve.queries >= 1);
+            assert!(sc.serve.gap_us > 0);
+            assert!(sc.serve.queue_cap >= 1);
+            assert!(sc.serve.quantum_kb >= 1);
+            assert!(sc.serve.workers >= 1);
+            assert!(sc.serve.max_wait_rounds >= 1);
+            assert!(sc.serve.events.len() <= 3);
+            assert!(
+                sc.serve.events.windows(2).all(|w| {
+                    let at = |e: &ServeEventPlan| match *e {
+                        ServeEventPlan::Ingest { at_query, .. } => at_query,
+                        ServeEventPlan::NodeLoss { at_query, .. } => at_query,
+                    };
+                    at(&w[0]) <= at(&w[1])
+                }),
+                "serve events stay sorted by anchor"
             );
             let spec = sc.pipeline_spec();
             assert!(matches!(spec.seq[0], StageOp::Filter(_)));

@@ -182,6 +182,39 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         push(c);
     }
 
+    // Simpler serving axis: shorter stream first (the biggest win for a
+    // repro), then fewer tenants, then drop scripted events from the
+    // back, then collapse the worker pool (a one-worker repro reads as a
+    // sequential trace).
+    if sc.serve.queries > 4 {
+        let mut c = sc.clone();
+        c.serve.queries = (sc.serve.queries / 2).max(4);
+        for e in &mut c.serve.events {
+            match e {
+                crate::scenario::ServeEventPlan::Ingest { at_query, .. }
+                | crate::scenario::ServeEventPlan::NodeLoss { at_query, .. } => {
+                    *at_query = (*at_query).min(c.serve.queries);
+                }
+            }
+        }
+        push(c);
+    }
+    if sc.serve.tenants > 1 {
+        let mut c = sc.clone();
+        c.serve.tenants -= 1;
+        push(c);
+    }
+    if !sc.serve.events.is_empty() {
+        let mut c = sc.clone();
+        c.serve.events.pop();
+        push(c);
+    }
+    if sc.serve.workers > 1 {
+        let mut c = sc.clone();
+        c.serve.workers = 1;
+        push(c);
+    }
+
     out
 }
 
@@ -224,6 +257,9 @@ mod tests {
                 }
                 assert!(c.shuffle.key_ranges >= 2);
                 assert!(c.shuffle.split_factor >= 1.0);
+                assert!(c.serve.tenants >= 1);
+                assert!(c.serve.queries >= 4);
+                assert!(c.serve.workers >= 1);
             }
         }
     }

@@ -95,6 +95,12 @@ USAGE:
               [--window-secs N] [--alpha F] [--resume] [--json OUT.json]
               [--shuffle off|aware|hash] [--key-ranges N] [--split-factor F]
               [--trace OUT.json]
+  datanet serve [--dataset FILE] [--tenants N] [--queries N] [--qps N | --gap-us N]
+              [--mix uniform|skewed|adversarial] [--workers N] [--queue-cap N]
+              [--quantum-kb N] [--max-wait-rounds N] [--no-cache]
+              [--planner alg1|maxflow] [--ingest-at N[,N...]] [--lose-node I@N]
+              [--subdatasets N] [--records N] [--nodes N] [--block-kb N]
+              [--seed N] [--json OUT.json] [--trace OUT.json]
   datanet trace TRACE.json
   datanet top SNAPSHOT.json [--flight FLIGHT.json]
   datanet check [--seeds N] [--seed-start N] [--corpus FILE] [--shrink]
@@ -152,6 +158,16 @@ network bytes, locality fraction, reduce imbalance and makespan.
 The `shuffle` bench binary (`cargo run --release -p datanet-bench --bin
 shuffle`) gates the reduction ratio in CI.
 
+`datanet serve` runs the multi-tenant serving plane over a seeded query
+stream on the simulated clock: a bounded admission queue with typed
+rejections and load shedding, per-tenant fair-share quotas (deficit round
+robin over Equation 6 byte estimates, `--quantum-kb` per round), and a
+planner-result cache keyed on `(sub-dataset, cluster epoch)` that
+invalidates itself on ingest commits (`--ingest-at`) and node loss
+(`--lose-node I@N` fails node I before query N). The canonical answers
+section is independent of `--workers` by construction — only the printed
+latency/throughput section moves. `--json` writes the full report.
+
 `datanet ingest` streams the dataset's blocks through the incremental
 ingestor instead of a batch scan: per-block summaries at write time,
 compaction every `--compact-every` arrivals, a durable epoch committed
@@ -176,6 +192,7 @@ pub fn dispatch(tokens: Vec<String>, out: &mut dyn Write) -> Result<(), CliError
         Some("scrub") => cmd_scrub(&args, out),
         Some("simulate") => cmd_simulate(&args, out),
         Some("pipeline") => cmd_pipeline(&args, out),
+        Some("serve") => cmd_serve(&args, out),
         Some("trace") => cmd_trace(&args, out),
         Some("top") => cmd_top(&args, out),
         Some("check") => cmd_check(&args, out),
@@ -1068,6 +1085,206 @@ fn val_str(v: Option<&Value>) -> Option<&str> {
 /// by `--trace`: span counts and time per category, the busiest nodes on
 /// the simulated clock, counter totals, and the unclosed-span count the CI
 /// smoke job gates on.
+/// `datanet serve` — run the multi-tenant serving plane over a seeded
+/// query stream: bounded admission, deficit-round-robin fair-share
+/// quotas, the epoch-keyed plan cache, and a seeded worker pool on the
+/// simulated clock. The printed answers section is a pure function of
+/// the stream and the scripted events; only the timing line moves with
+/// `--workers`.
+fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use datanet_serve::{
+        generate_stream, serve, Disposition, ScriptedEvent, ServeConfig, ServeEvent, StreamConfig,
+        TenantMix, World,
+    };
+
+    let seed: u64 = args.get_or("seed", 0xDA7A)?;
+    let subdatasets: u64 = args.get_or("subdatasets", 8)?;
+    if subdatasets == 0 {
+        return Err(ArgError("--subdatasets must be positive".into()).into());
+    }
+    let alpha: f64 = args.get_or("alpha", 0.3)?;
+    let dfs = match args.get("dataset") {
+        Some(p) => DatasetFile::load(Path::new(p))?.to_dfs(),
+        None => {
+            // Synthetic world from the same knobs `datanet gen` takes, so
+            // `datanet serve` works standalone.
+            let records: u64 = args.get_or("records", 2_000)?;
+            let nodes: u32 = args.get_or("nodes", 8)?;
+            let block_kb: u64 = args.get_or("block-kb", 4)?;
+            datanet_dfs::Dfs::write_random(
+                DfsConfig {
+                    block_size: block_kb * 1024,
+                    replication: 2,
+                    topology: Topology::single_rack(nodes),
+                    seed,
+                },
+                (0..records).map(|i| {
+                    datanet_dfs::Record::new(SubDatasetId(i % subdatasets), i, 260, seed ^ i)
+                }),
+            )
+        }
+    };
+    let world = World::new(dfs, subdatasets, Separation::Alpha(alpha), seed);
+
+    let tenants: u32 = args.get_or("tenants", 4)?;
+    let queries: u32 = args.get_or("queries", 64)?;
+    if tenants == 0 || queries == 0 {
+        return Err(ArgError("--tenants and --queries must be positive".into()).into());
+    }
+    // Arrival cadence: `--gap-us` wins; otherwise derived from `--qps`.
+    let gap_us: u64 = if args.get("gap-us").is_some() {
+        args.get_or("gap-us", 0)?
+    } else {
+        let qps: u64 = args.get_or("qps", 500)?;
+        if qps == 0 {
+            return Err(ArgError("--qps must be positive".into()).into());
+        }
+        (1_000_000 / qps).max(1)
+    };
+    if gap_us == 0 {
+        return Err(ArgError("--gap-us must be positive".into()).into());
+    }
+    let mix_s = args.get("mix").unwrap_or("skewed");
+    let mix = TenantMix::parse(mix_s).ok_or_else(|| {
+        ArgError(format!(
+            "unknown mix `{mix_s}` (want uniform, skewed or adversarial)"
+        ))
+    })?;
+    let stream = generate_stream(&StreamConfig {
+        tenants,
+        queries,
+        gap_us,
+        subdatasets,
+        mix,
+        seed,
+    });
+
+    let maxflow = match args.get("planner").unwrap_or("alg1") {
+        "alg1" => false,
+        "maxflow" => true,
+        other => return Err(ArgError(format!("unknown planner `{other}`")).into()),
+    };
+    let quantum_kb: u64 = args.get_or("quantum-kb", 64)?;
+    if quantum_kb == 0 {
+        return Err(ArgError("--quantum-kb must be positive".into()).into());
+    }
+    let cfg = ServeConfig {
+        workers: args.get_or("workers", 4)?,
+        queue_cap: args.get_or("queue-cap", 32)?,
+        quantum_bytes: quantum_kb * 1024,
+        round_us: args.get_or("round-us", 2_000)?,
+        max_wait_rounds: args.get_or("max-wait-rounds", 16)?,
+        cache: !args.flag("no-cache"),
+        maxflow,
+        schedule_seed: args.get_or("schedule-seed", 0)?,
+    };
+    if cfg.workers == 0 || cfg.round_us == 0 {
+        return Err(ArgError("--workers and --round-us must be positive".into()).into());
+    }
+
+    // Scripted world mutations, anchored to stream positions.
+    let mut events: Vec<ScriptedEvent> = Vec::new();
+    if let Some(list) = args.get("ingest-at") {
+        let blocks: u32 = args.get_or("ingest-blocks", 2)?;
+        for part in list.split(',').filter(|s| !s.is_empty()) {
+            let at: u32 = part
+                .parse()
+                .map_err(|e| ArgError(format!("--ingest-at: {e}")))?;
+            events.push(ScriptedEvent {
+                at_query: at,
+                event: ServeEvent::IngestCommit {
+                    blocks: blocks.max(1),
+                },
+            });
+        }
+    }
+    if let Some(spec) = args.get("lose-node") {
+        let (node, at) = spec
+            .split_once('@')
+            .ok_or_else(|| ArgError(format!("--lose-node wants NODE@QUERY, got `{spec}`")))?;
+        events.push(ScriptedEvent {
+            at_query: at
+                .parse()
+                .map_err(|e| ArgError(format!("--lose-node position: {e}")))?,
+            event: ServeEvent::NodeLoss {
+                node: node
+                    .parse()
+                    .map_err(|e| ArgError(format!("--lose-node index: {e}")))?,
+            },
+        });
+    }
+    events.sort_by_key(|e| e.at_query);
+
+    let (rec, obs) = recorder(args)?;
+    let report = serve(world, &stream, &events, &cfg, &rec);
+
+    let a = &report.answers;
+    let completed = a
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o.disposition, Disposition::Completed { .. }))
+        .count();
+    let rejected: u32 = a.tenants.iter().map(|t| t.rejected).sum();
+    let shed: u32 = a.tenants.iter().map(|t| t.shed).sum();
+    writeln!(
+        out,
+        "served {} query(ies) from {} tenant(s), {} mix, {} event(s): \
+         {completed} completed, {rejected} rejected, {shed} shed",
+        stream.len(),
+        tenants,
+        mix.as_str(),
+        events.len()
+    )?;
+    writeln!(
+        out,
+        "plan cache: {} hit(s), {} miss(es){}",
+        a.cache_hits,
+        a.cache_misses,
+        if cfg.cache { "" } else { " (cache off)" }
+    )?;
+    let kib = |b: u64| format!("{:.1}", b as f64 / 1024.0);
+    let mut t = Table::new([
+        "tenant",
+        "admitted",
+        "rejected",
+        "shed",
+        "granted KiB",
+        "served KiB",
+        "forfeited KiB",
+    ]);
+    for ts in &a.tenants {
+        t.row([
+            format!("t{}", ts.tenant),
+            ts.admitted.to_string(),
+            ts.rejected.to_string(),
+            ts.shed.to_string(),
+            kib(ts.granted_bytes),
+            kib(ts.served_bytes),
+            kib(ts.forfeited_bytes),
+        ]);
+    }
+    write!(out, "{}", t.render())?;
+    let ti = &report.timing;
+    writeln!(
+        out,
+        "timing ({} worker(s)): makespan {:.3}s, latency p50 {:.3}ms / p99 {:.3}ms, \
+         {:.1} queries/s",
+        ti.workers,
+        ti.makespan_us as f64 / 1e6,
+        ti.p50_latency_us as f64 / 1e3,
+        ti.p99_latency_us as f64 / 1e3,
+        ti.throughput_qps
+    )?;
+    if let Some(path) = args.get("json") {
+        let bytes = serde_json::to_vec_pretty(&report)
+            .map_err(|e| ArgError(format!("cannot serialise report: {e}")))?;
+        std::fs::write(path, bytes)?;
+        writeln!(out, "wrote JSON report to {path}")?;
+    }
+    obs.finish(&rec, out)?;
+    Ok(())
+}
+
 fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.require_positional(1, "TRACE.json")?;
     let bytes = std::fs::read(path)?;
@@ -1255,6 +1472,67 @@ fn cmd_top(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 format!("{:.3}", *sum as f64 / 1e3),
                 format!("{:.3}", *p95 as f64 / 1e3),
                 format!("{:.3}", *p99 as f64 / 1e3),
+            ]);
+        }
+        write!(out, "{}", t.render())?;
+    }
+
+    // ---- serving plane (per tenant) ----------------------------------
+    // Group the serving-plane counters and latency histograms by tenant
+    // label; a snapshot without them (no `datanet serve` run) skips the
+    // section entirely.
+    let mut serving: std::collections::BTreeMap<String, (u64, u64, u64, u64, u64)> =
+        Default::default();
+    for (k, &v) in &snap.counters {
+        let slot = match split_series(k).0 {
+            "serve_admitted_total" => 0,
+            "serve_rejected_total" => 1,
+            "serve_shed_total" => 2,
+            _ => continue,
+        };
+        let t = label_of(k, "tenant").unwrap_or_else(|| "-".into());
+        let e = serving.entry(t).or_insert((0, 0, 0, 0, 0));
+        match slot {
+            0 => e.0 += v,
+            1 => e.1 += v,
+            _ => e.2 += v,
+        }
+    }
+    for (k, h) in &snap.hists {
+        if split_series(k).0 != "serve_latency_us" {
+            continue;
+        }
+        let t = label_of(k, "tenant").unwrap_or_else(|| "-".into());
+        let e = serving.entry(t).or_insert((0, 0, 0, 0, 0));
+        e.3 += h.count;
+        e.4 = e.4.max(h.p99);
+    }
+    if !serving.is_empty() {
+        let total = |name: &str| -> u64 {
+            snap.counters
+                .iter()
+                .filter(|(k, _)| split_series(k).0 == name)
+                .map(|(_, &v)| v)
+                .sum()
+        };
+        writeln!(
+            out,
+            "\nserving plane: {} cache hit(s), {} miss(es)",
+            total("serve_cache_hits_total"),
+            total("serve_cache_misses_total")
+        )?;
+        let mut t = Table::new(["tenant", "admitted", "rejected", "shed", "latency p99 ms"]);
+        for (tenant, (adm, rej, shed, lats, p99)) in &serving {
+            t.row([
+                tenant.clone(),
+                adm.to_string(),
+                rej.to_string(),
+                shed.to_string(),
+                if *lats == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.3}", *p99 as f64 / 1e3)
+                },
             ]);
         }
         write!(out, "{}", t.render())?;
@@ -1814,5 +2092,78 @@ mod tests {
         ));
         assert!(err.is_err());
         let _ = std::fs::remove_file(&ds);
+    }
+
+    #[test]
+    fn serve_runs_standalone_and_feeds_the_dashboard() {
+        let json = tmp("serve-report.json");
+        let snap = tmp("serve-metrics.json");
+        let s = run(&format!(
+            "serve --tenants 3 --queries 24 --records 400 --nodes 4 --subdatasets 4 \
+             --seed 7 --ingest-at 8 --lose-node 2@12 --json {json} --metrics {snap}"
+        ))
+        .unwrap();
+        assert!(
+            s.contains("served 24 query(ies) from 3 tenant(s), skewed mix, 2 event(s)"),
+            "{s}"
+        );
+        assert!(s.contains("plan cache:"), "{s}");
+        assert!(s.contains("tenant"), "{s}");
+        assert!(s.contains("timing ("), "{s}");
+
+        // The JSON report is the full ServeReport: one outcome per query.
+        let doc = serde_json::parse_value(&std::fs::read(&json).unwrap()).unwrap();
+        let outcomes = doc
+            .get("answers")
+            .and_then(|a| a.get("outcomes"))
+            .expect("answers.outcomes present");
+        assert!(
+            matches!(outcomes, Value::Array(o) if o.len() == 24),
+            "{doc:?}"
+        );
+
+        // The metrics snapshot surfaces per-tenant rows in `datanet top`.
+        let top = run(&format!("top {snap}")).unwrap();
+        assert!(top.contains("serving plane:"), "{top}");
+        assert!(top.contains("t0"), "{top}");
+        assert!(top.contains("admitted"), "{top}");
+
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn serve_answers_are_worker_independent_and_flags_validate() {
+        let j1 = tmp("serve-w1.json");
+        let j2 = tmp("serve-w6.json");
+        let common = "serve --tenants 2 --queries 16 --records 300 --nodes 4 \
+                      --subdatasets 3 --seed 11 --mix adversarial";
+        run(&format!("{common} --workers 1 --json {j1}")).unwrap();
+        run(&format!(
+            "{common} --workers 6 --schedule-seed 99 --json {j2}"
+        ))
+        .unwrap();
+        let a1 = serde_json::parse_value(&std::fs::read(&j1).unwrap()).unwrap();
+        let a2 = serde_json::parse_value(&std::fs::read(&j2).unwrap()).unwrap();
+        assert_eq!(
+            a1.get("answers"),
+            a2.get("answers"),
+            "canonical answers moved with worker count"
+        );
+        assert_ne!(a1.get("timing"), a2.get("timing"));
+
+        for bad in [
+            "serve --mix sideways",
+            "serve --qps 0",
+            "serve --quantum-kb 0",
+            "serve --lose-node 2",
+            "serve --planner bogus",
+        ] {
+            let err = run(bad).unwrap_err();
+            assert!(matches!(err, CliError::Args(_)), "{bad}: {err}");
+        }
+
+        let _ = std::fs::remove_file(&j1);
+        let _ = std::fs::remove_file(&j2);
     }
 }

@@ -16,6 +16,11 @@ pub struct SimCluster {
     /// `up[i]` — whether node `i` is still alive (fault injection marks
     /// crashed nodes down; a down node must not source or sink work).
     up: Vec<bool>,
+    /// Membership epoch: bumped exactly once per liveness change
+    /// ([`SimCluster::set_down`], and [`SimCluster::reset`] when it revives
+    /// anything). Plan caches key on this — a plan computed at epoch `e`
+    /// may route work to nodes that died at epoch `e + 1`.
+    epoch: u64,
 }
 
 impl SimCluster {
@@ -43,6 +48,7 @@ impl SimCluster {
             nodes: specs.iter().map(|&s| SimNode::new(s)).collect(),
             specs: specs.to_vec(),
             up: vec![true; specs.len()],
+            epoch: 0,
         }
     }
 
@@ -90,8 +96,19 @@ impl SimCluster {
 
     /// Mark node `i` as crashed. Its timelines stop accepting work through
     /// [`SimCluster::transfer`]; the engine must stop routing tasks to it.
+    /// Bumps the membership [epoch](SimCluster::epoch) if the node was up.
     pub fn set_down(&mut self, i: usize) {
-        self.up[i] = false;
+        if self.up[i] {
+            self.up[i] = false;
+            self.epoch += 1;
+        }
+    }
+
+    /// The membership epoch: how many liveness changes this cluster has
+    /// seen. Any plan computed at an older epoch may reference nodes that
+    /// have since died and must be revalidated before execution.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Whether node `i` is still alive.
@@ -147,10 +164,14 @@ impl SimCluster {
             .unwrap_or(SimTime::ZERO)
     }
 
-    /// Reset every node to idle and alive.
+    /// Reset every node to idle and alive. Reviving dead nodes is itself a
+    /// membership change, so the epoch bumps once if anything was down.
     pub fn reset(&mut self) {
         for n in &mut self.nodes {
             n.reset();
+        }
+        if self.up.iter().any(|&u| !u) {
+            self.epoch += 1;
         }
         self.up.fill(true);
     }
@@ -241,6 +262,25 @@ mod tests {
         c.reset();
         assert!(c.is_up(1));
         assert_eq!(c.alive_count(), 3);
+    }
+
+    #[test]
+    fn membership_epoch_bumps_once_per_liveness_change() {
+        let mut c = tiny();
+        assert_eq!(c.epoch(), 0);
+        c.set_down(1);
+        assert_eq!(c.epoch(), 1);
+        // Re-killing a dead node is not a membership change.
+        c.set_down(1);
+        assert_eq!(c.epoch(), 1);
+        c.set_down(0);
+        assert_eq!(c.epoch(), 2);
+        // Reset revives two dead nodes: one membership change.
+        c.reset();
+        assert_eq!(c.epoch(), 3);
+        // Reset with nothing down changes nothing.
+        c.reset();
+        assert_eq!(c.epoch(), 3);
     }
 
     #[test]

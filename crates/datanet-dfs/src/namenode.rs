@@ -29,6 +29,11 @@ struct Tables {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NameNode {
     tables: Arc<Tables>,
+    /// Monotonic mutation counter: bumped exactly once per metadata
+    /// mutation ([`NameNode::register`]). Plan caches key on this — two
+    /// handles with equal epochs observed the same mutation history, so
+    /// any plan computed against one is valid against the other.
+    epoch: u64,
 }
 
 impl NameNode {
@@ -39,7 +44,15 @@ impl NameNode {
                 replicas: Vec::new(),
                 local_blocks: vec![Vec::new(); nodes],
             }),
+            epoch: 0,
         }
+    }
+
+    /// The metadata epoch: how many mutations this handle has observed.
+    /// Clones freeze the epoch alongside the snapshot they share, so a
+    /// reader can tell whether a writer moved on without comparing tables.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Register block `b` with its replica locations. Blocks must be
@@ -66,6 +79,7 @@ impl NameNode {
             tables.local_blocks[n.index()].push(b);
         }
         tables.replicas.push(locations);
+        self.epoch += 1;
     }
 
     /// Number of registered blocks.
@@ -137,6 +151,7 @@ impl Serialize for NameNode {
                 "local_blocks".to_string(),
                 self.tables.local_blocks.to_value(),
             ),
+            ("epoch".to_string(), self.epoch.to_value()),
         ])
     }
 }
@@ -148,19 +163,27 @@ impl Deserialize for NameNode {
         };
         let mut replicas = None;
         let mut local_blocks = None;
+        let mut epoch = None;
         for (k, v) in fields {
             match k.as_str() {
                 "replicas" => replicas = Some(Vec::<Vec<NodeId>>::from_value(v)?),
                 "local_blocks" => local_blocks = Some(Vec::<Vec<BlockId>>::from_value(v)?),
+                "epoch" => epoch = Some(u64::from_value(v)?),
                 _ => {}
             }
         }
+        let replicas = replicas.ok_or_else(|| DeError::msg("NameNode: missing replicas"))?;
+        // Checkpoints written before the epoch counter existed lack the
+        // field; every historical mutation was a `register`, so the block
+        // count reconstructs exactly the epoch the writer would have had.
+        let epoch = epoch.unwrap_or(replicas.len() as u64);
         Ok(Self {
             tables: Arc::new(Tables {
-                replicas: replicas.ok_or_else(|| DeError::msg("NameNode: missing replicas"))?,
+                replicas,
                 local_blocks: local_blocks
                     .ok_or_else(|| DeError::msg("NameNode: missing local_blocks"))?,
             }),
+            epoch,
         })
     }
 }
@@ -228,14 +251,61 @@ mod tests {
     fn serde_preserves_pre_snapshot_wire_shape() {
         let nn = sample();
         let v = nn.to_value();
-        // Same field names/order the derived impl on inline fields produced.
+        // Same leading field names/order the derived impl on inline fields
+        // produced; the epoch counter is appended after them.
         let Value::Object(fields) = &v else {
             panic!("expected object")
         };
         assert_eq!(fields[0].0, "replicas");
         assert_eq!(fields[1].0, "local_blocks");
+        assert_eq!(fields[2].0, "epoch");
         let back = NameNode::from_value(&v).unwrap();
         assert_eq!(back, nn);
+    }
+
+    #[test]
+    fn pre_epoch_checkpoints_reconstruct_the_epoch() {
+        // A wire document written before the epoch counter existed: only
+        // the two table fields. Loading must reconstruct epoch = block
+        // count (each historical mutation was one register).
+        let nn = sample();
+        let Value::Object(mut fields) = nn.to_value() else {
+            panic!("expected object")
+        };
+        fields.retain(|(k, _)| k != "epoch");
+        let back = NameNode::from_value(&Value::Object(fields)).unwrap();
+        assert_eq!(back.epoch(), 3);
+        assert_eq!(back, nn);
+    }
+
+    /// Satellite acceptance: every mutation bumps the epoch exactly once,
+    /// and the counter is monotonically readable from any handle.
+    #[test]
+    fn every_mutation_bumps_the_epoch_exactly_once() {
+        let mut nn = NameNode::new(4);
+        assert_eq!(nn.epoch(), 0);
+        let mut last = 0;
+        for b in 0..10u32 {
+            nn.register(BlockId(b), vec![NodeId(b % 4)]);
+            assert_eq!(nn.epoch(), last + 1, "register must bump exactly once");
+            last = nn.epoch();
+        }
+        // Reads never move the counter.
+        let _ = nn.block_count();
+        let _ = nn.replicas(BlockId(0));
+        let _ = nn.lost_blocks(&[true; 4]);
+        assert_eq!(nn.epoch(), last);
+    }
+
+    #[test]
+    fn clones_freeze_the_epoch_with_the_snapshot() {
+        let nn = sample();
+        let frozen = nn.clone();
+        let mut writer = nn.clone();
+        writer.register(BlockId(3), vec![NodeId(1)]);
+        assert_eq!(frozen.epoch(), 3, "reader keeps the epoch it saw");
+        assert_eq!(writer.epoch(), 4, "writer moved on");
+        assert_ne!(frozen, writer);
     }
 
     #[test]

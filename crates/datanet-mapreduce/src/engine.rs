@@ -24,7 +24,7 @@ use crate::report::{ExecutionReport, FaultStats, JobReport, SelectionOutcome, Sh
 use crate::scheduler::{MapScheduler, ResilientScheduler};
 use crate::shuffle::{self, ShufflePlan};
 use datanet::store::MetaStore;
-use datanet::{AggregationPlan, RetryBudget};
+use datanet::{AggregationPlan, Assignment, RetryBudget};
 use datanet_cluster::{
     suspicion_schedule_traced, DetectorConfig, EventQueue, FaultPlan, NodeSpec, SimCluster, SimTime,
 };
@@ -254,6 +254,41 @@ fn map_task_duration(
         cfg.spec.disk_bps,
     );
     dur
+}
+
+/// Closed-form makespan of executing an already-planned assignment with one
+/// map slot per node: each node runs its planned blocks back to back at the
+/// engine's exact per-task cost, so the result equals
+/// [`run_selection`] driven by a `PlannedScheduler` with
+/// `slots_per_node = 1` — without paying for the event queue. The serving
+/// plane (`datanet-serve`) prices every admitted query's execution with
+/// this, which keeps per-query cost a pure function of the plan: worker
+/// interleaving can reorder queries but never change what one costs.
+///
+/// # Panics
+/// Panics if `truth` does not cover every block of `dfs`.
+pub fn planned_makespan(
+    dfs: &Dfs,
+    truth: &[u64],
+    plan: &Assignment,
+    cfg: &SelectionConfig,
+) -> SimTime {
+    assert_eq!(
+        truth.len(),
+        dfs.block_count(),
+        "ground-truth vector must cover every block"
+    );
+    let mut makespan = SimTime::ZERO;
+    for n in 0..plan.node_count() {
+        let node = NodeId(n as u32);
+        let mut end = SimTime::ZERO;
+        for &b in plan.tasks_of(node) {
+            let local = dfs.namenode().is_local(b, node);
+            end += map_task_duration(dfs, b, node, local, truth[b.index()], cfg, 1.0);
+        }
+        makespan = makespan.max(end);
+    }
+    makespan
 }
 
 /// Stretch a duration by a slowdown factor (≥ 1).
@@ -1324,6 +1359,28 @@ mod tests {
         assert_eq!(out.total_tasks, dfs.block_count());
         assert_eq!(out.bytes_read, dfs.total_bytes());
         assert!(out.end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn planned_makespan_matches_the_event_driven_engine() {
+        use crate::scheduler::PlannedScheduler;
+        use datanet::{Algorithm1, Assignment};
+        let dfs = clustered_dfs(8);
+        let s = SubDatasetId(0);
+        let truth = dfs.subdataset_distribution(s);
+        let view = ElasticMapArray::build(&dfs, &Separation::All).view(s);
+        let plan = Algorithm1::new(&dfs, &view).plan_balanced();
+        let cfg = SelectionConfig::default(); // 1 slot per node
+        let mut sched = PlannedScheduler::new(&plan, dfs.namenode());
+        let out = run_selection(&dfs, &truth, &mut sched, &cfg);
+        assert_eq!(
+            planned_makespan(&dfs, &truth, &plan, &cfg),
+            out.end,
+            "closed form must reproduce the event-driven makespan exactly"
+        );
+        // An empty plan costs nothing.
+        let empty = Assignment::new(8);
+        assert_eq!(planned_makespan(&dfs, &truth, &empty, &cfg), SimTime::ZERO);
     }
 
     #[test]

@@ -30,13 +30,13 @@ pub mod skewtune;
 pub mod speculation;
 
 pub use engine::{
-    capability_of, run_analysis, run_analysis_aggregated, run_analysis_aggregated_traced,
-    run_analysis_hetero, run_analysis_shuffled, run_analysis_shuffled_traced,
-    run_analysis_surviving, run_analysis_surviving_traced, run_analysis_traced, run_pipeline,
-    run_pipeline_faulty, run_pipeline_faulty_traced, run_pipeline_traced, run_selection,
-    run_selection_faulty, run_selection_faulty_traced, run_selection_resilient,
-    run_selection_resilient_traced, run_selection_traced, AnalysisConfig, FaultConfig,
-    SelectionConfig,
+    capability_of, planned_makespan, run_analysis, run_analysis_aggregated,
+    run_analysis_aggregated_traced, run_analysis_hetero, run_analysis_shuffled,
+    run_analysis_shuffled_traced, run_analysis_surviving, run_analysis_surviving_traced,
+    run_analysis_traced, run_pipeline, run_pipeline_faulty, run_pipeline_faulty_traced,
+    run_pipeline_traced, run_selection, run_selection_faulty, run_selection_faulty_traced,
+    run_selection_resilient, run_selection_resilient_traced, run_selection_traced, AnalysisConfig,
+    FaultConfig, SelectionConfig,
 };
 pub use job::JobProfile;
 pub use report::{

@@ -72,6 +72,9 @@ pub enum Category {
     /// Pipeline stage checkpoint commit: payload + manifests replicated
     /// under the crash-safe write order (wall clock).
     Checkpoint,
+    /// Serving plane: query admission, planning and execution in the
+    /// multi-tenant frontend (sim clock).
+    Serve,
 }
 
 impl Category {
@@ -89,6 +92,7 @@ impl Category {
             Category::Ingest => "ingest",
             Category::Compaction => "compaction",
             Category::Checkpoint => "checkpoint",
+            Category::Serve => "serve",
         }
     }
 }

@@ -1,0 +1,867 @@
+//! The serving plane: admission control, deficit-round-robin fair-share
+//! quotas, the epoch-keyed plan cache, and a seeded worker pool.
+//!
+//! # Decision plane vs execution plane
+//!
+//! The run is split in two:
+//!
+//! 1. **Decision plane** — a single-threaded pass over the arrival
+//!    timeline. It admits, queues, sheds, rejects, plans (through the
+//!    cache) and prices every query, in scheduling rounds on the simulated
+//!    clock. Nothing here depends on worker count or worker interleaving,
+//!    so the canonical [`ServeAnswers`] section of the report is provably
+//!    byte-identical across any concurrency level — the property
+//!    `tests/serve.rs` checks seed by seed.
+//! 2. **Execution plane** — a pool of workers drains the admitted queries
+//!    in admission order. Each query's execution *cost* was already fixed
+//!    by the decision plane (the engine's closed-form
+//!    `planned_makespan`), so interleaving only moves *when* and *where*
+//!    work runs, never what it produces. Worker choice on ties is drawn
+//!    from the schedule seed; everything it can influence lands in
+//!    [`ServeTiming`], outside the canonical section.
+//!
+//! # Fair-share invariants (the fairness oracle's contract)
+//!
+//! Deficit round robin grants each backlogged tenant `quantum_bytes` of
+//! estimated plan bytes (Equation 6) per round and serves its queue while
+//! the head fits the accumulated deficit. Grant a tenant cannot use (its
+//! queue empties) is *forfeited*, never banked. The following follow from
+//! the loop structure alone — no tuning — and are checked for **every**
+//! seed by the `serve-fairness` oracle:
+//!
+//! * `granted == rounds_backlogged × quantum` — grants accrue exactly one
+//!   quantum per backlogged round, nothing else;
+//! * `served + forfeited == granted` — every granted byte is either spent
+//!   on admissions or explicitly returned, so `served ≤ granted`: no
+//!   tenant is ever served past its share;
+//! * `forfeited ≤ busy_periods × (quantum + max_est)` — grant is only
+//!   returned when a backlog drains, at most once per backlog episode and
+//!   bounded by one quantum plus one query estimate. So a *continuously*
+//!   backlogged tenant (one busy period, no drain) is served to within
+//!   `quantum + max_est` of its full grant — the calibrated deviation
+//!   bound on admitted-bytes shares.
+
+use crate::stream::QuerySpec;
+use crate::world::{plan_digest, ScriptedEvent, World};
+use datanet::{Assignment, EpochKey, FastMap, PlanCache};
+use datanet_mapreduce::{planned_makespan, SelectionConfig};
+use datanet_obs::{Category, Domain, QueryCtx, Recorder, SpanCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Knobs of one serve run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Execution workers (≥ 1). Affects timing only, never answers.
+    pub workers: u32,
+    /// Bounded admission queue: total queries queued across all tenants.
+    /// Arrivals past the bound get a typed [`RejectReason::QueueFull`].
+    pub queue_cap: usize,
+    /// DRR quantum: estimated plan bytes granted per tenant per round (≥ 1).
+    pub quantum_bytes: u64,
+    /// Simulated microseconds per scheduling round.
+    pub round_us: u64,
+    /// Shed a queued query once it has waited this many whole rounds
+    /// without being admitted (load shedding; 0 sheds anything not
+    /// admitted in its arrival round).
+    pub max_wait_rounds: u32,
+    /// Consult the epoch-keyed plan cache.
+    pub cache: bool,
+    /// Plan with the max-flow optimal planner instead of the greedy
+    /// balancer.
+    pub maxflow: bool,
+    /// Seed for worker tie-breaking in the execution plane.
+    pub schedule_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_cap: 32,
+            quantum_bytes: 64 * 1024,
+            round_us: 2_000,
+            max_wait_rounds: 16,
+            cache: true,
+            maxflow: false,
+            schedule_seed: 0,
+        }
+    }
+}
+
+/// Why an arrival was turned away at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The bounded admission queue was full.
+    QueueFull,
+}
+
+/// What finally happened to one query. Exactly one disposition per stream
+/// query — the conservation oracle's unit of account.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Admitted, planned and executed.
+    Completed {
+        /// Requested sub-dataset.
+        sub: u64,
+        /// Epoch the plan was served at.
+        epoch: EpochKey,
+        /// Whether the plan came out of the cache.
+        cache_hit: bool,
+        /// Digest of the served plan's wire form ([`plan_digest`]).
+        plan_digest: u64,
+        /// Equation-6 estimate charged against the tenant's quota.
+        est_bytes: u64,
+        /// Blocks in the served plan.
+        assigned_blocks: usize,
+        /// Scheduling round of admission.
+        round: u64,
+    },
+    /// Turned away at arrival.
+    Rejected {
+        /// The typed reason.
+        reason: RejectReason,
+    },
+    /// Queued, then dropped by load shedding.
+    Shed {
+        /// Whole rounds the query waited before being dropped.
+        waited_rounds: u64,
+    },
+}
+
+/// One query's final record in the canonical answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Stream query id.
+    pub id: u64,
+    /// Issuing tenant.
+    pub tenant: u32,
+    /// The disposition.
+    pub disposition: Disposition,
+}
+
+/// Per-tenant fair-share accounting (the fairness oracle's inputs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant index.
+    pub tenant: u32,
+    /// Estimated bytes granted by DRR: exactly one quantum per backlogged
+    /// round.
+    pub granted_bytes: u64,
+    /// Estimated bytes of admitted queries.
+    pub served_bytes: u64,
+    /// Grant returned unused when the tenant's backlog drained (and any
+    /// residue at run end). `served + forfeited == granted` always.
+    pub forfeited_bytes: u64,
+    /// Largest single-query estimate that entered this tenant's queue.
+    pub max_est_bytes: u64,
+    /// Rounds in which this tenant was backlogged at its DRR turn.
+    pub rounds_backlogged: u64,
+    /// Backlog episodes: transitions of this tenant's queue from empty to
+    /// non-empty.
+    pub busy_periods: u32,
+    /// Queries admitted (and therefore completed).
+    pub admitted: u32,
+    /// Queries rejected at the door.
+    pub rejected: u32,
+    /// Queries shed after queuing.
+    pub shed: u32,
+}
+
+/// The canonical section of a serve report: everything the decision plane
+/// determined. Byte-identical across worker counts and schedule seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeAnswers {
+    /// One outcome per stream query, in stream order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Per-tenant quota accounting.
+    pub tenants: Vec<TenantStats>,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses.
+    pub cache_misses: u64,
+    /// The DRR quantum the run used.
+    pub quantum_bytes: u64,
+}
+
+impl ServeAnswers {
+    /// The canonical wire form — what the concurrent ≡ sequential
+    /// property compares.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("answers always serialise")
+    }
+
+    /// A copy with every cache-visible field cleared (`cache_hit` flags
+    /// and hit/miss counters), for comparing cache-on and cache-off runs:
+    /// a coherent cache may change *where* plans come from, never what
+    /// they are.
+    pub fn normalized(&self) -> ServeAnswers {
+        let mut c = self.clone();
+        c.cache_hits = 0;
+        c.cache_misses = 0;
+        for o in &mut c.outcomes {
+            if let Disposition::Completed { cache_hit, .. } = &mut o.disposition {
+                *cache_hit = false;
+            }
+        }
+        c
+    }
+}
+
+/// The timing section: everything the execution plane (worker count,
+/// schedule seed) can influence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeTiming {
+    /// Worker-pool size of the run.
+    pub workers: u32,
+    /// Tie-break seed of the run.
+    pub schedule_seed: u64,
+    /// When the last execution finished (simulated µs).
+    pub makespan_us: u64,
+    /// Median completed-query latency (arrival → execution end, sim µs).
+    pub p50_latency_us: u64,
+    /// 99th-percentile completed-query latency (sim µs).
+    pub p99_latency_us: u64,
+    /// Completed queries per simulated second.
+    pub throughput_qps: f64,
+    /// Busy µs accumulated per worker.
+    pub worker_busy_us: Vec<u64>,
+}
+
+/// A full serve run's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Decision-plane section (canonical).
+    pub answers: ServeAnswers,
+    /// Execution-plane section (worker-dependent).
+    pub timing: ServeTiming,
+}
+
+struct Queued {
+    idx: usize,
+    est: u64,
+    entered_round: u64,
+}
+
+struct ExecItem {
+    idx: usize,
+    ready_us: u64,
+    duration_us: u64,
+}
+
+/// Run the serving plane over `stream` against `world`, applying the
+/// scripted `events` at their anchored stream positions. Consumes the
+/// world (it mutates under events); clone the initial world first if you
+/// need to replay prefixes afterwards.
+///
+/// # Panics
+/// Panics on a zero quantum, zero workers, a zero round length, or an
+/// unsorted stream.
+pub fn serve(
+    world: World,
+    stream: &[QuerySpec],
+    events: &[ScriptedEvent],
+    cfg: &ServeConfig,
+    rec: &Recorder,
+) -> ServeReport {
+    serve_inner(world, stream, events, cfg, rec, false)
+}
+
+fn serve_inner(
+    mut world: World,
+    stream: &[QuerySpec],
+    events: &[ScriptedEvent],
+    cfg: &ServeConfig,
+    rec: &Recorder,
+    plant_staleness: bool,
+) -> ServeReport {
+    assert!(cfg.quantum_bytes >= 1, "quantum must be positive");
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(cfg.round_us >= 1, "rounds must advance the clock");
+    assert!(
+        stream
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us),
+        "stream must be sorted by arrival"
+    );
+    let tenants = stream
+        .iter()
+        .map(|q| q.tenant)
+        .max()
+        .map_or(1, |m| m as usize + 1);
+    let sel_cfg = SelectionConfig::default();
+
+    let mut queues: Vec<VecDeque<Queued>> = (0..tenants).map(|_| VecDeque::new()).collect();
+    let mut queued_total = 0usize;
+    let mut outcomes: Vec<Option<Disposition>> = vec![None; stream.len()];
+    let mut exec: Vec<ExecItem> = Vec::new();
+
+    let mut deficit = vec![0u64; tenants];
+    let mut granted = vec![0u64; tenants];
+    let mut served = vec![0u64; tenants];
+    let mut forfeited = vec![0u64; tenants];
+    let mut max_est = vec![0u64; tenants];
+    let mut rounds_backlogged = vec![0u64; tenants];
+    let mut busy_periods = vec![0u32; tenants];
+    let mut admitted = vec![0u32; tenants];
+    let mut rejected = vec![0u32; tenants];
+    let mut shed = vec![0u32; tenants];
+
+    let mut cache = PlanCache::new();
+    if plant_staleness {
+        cache.plant_staleness();
+    }
+    // Equation-6 estimates and per-plan execution prices are memoised
+    // independently of the plan cache: they are deterministic functions of
+    // (sub-dataset, epoch) and of the plan bytes respectively, so
+    // recomputing them would only add noise to the cache-on/off
+    // comparison.
+    let mut est_memo: FastMap<(u64, EpochKey), u64> = FastMap::default();
+    let mut exec_memo: FastMap<u64, (u64, usize)> = FastMap::default();
+
+    let mut next_arrival = 0usize;
+    let mut next_event = 0usize;
+    let mut round: u64 = 0;
+
+    while next_arrival < stream.len() || queued_total > 0 {
+        let now = round * cfg.round_us;
+
+        // 1. Arrivals up to this round's instant, with scripted events
+        // firing immediately before their anchored arrival.
+        while next_arrival < stream.len() && stream[next_arrival].arrival_us <= now {
+            while next_event < events.len()
+                && (events[next_event].at_query as usize) <= next_arrival
+            {
+                world.apply(&events[next_event].event);
+                next_event += 1;
+            }
+            let q = &stream[next_arrival];
+            let t = q.tenant as usize;
+            if queued_total >= cfg.queue_cap {
+                outcomes[next_arrival] = Some(Disposition::Rejected {
+                    reason: RejectReason::QueueFull,
+                });
+                rejected[t] += 1;
+                rec.scoped(QueryCtx::new(q.id).tenant(tenant_name(q.tenant)))
+                    .add("serve_rejected_total", 1);
+            } else {
+                let key = world.epoch_key();
+                let est = *est_memo
+                    .entry((q.sub.0, key))
+                    .or_insert_with(|| world.array().view(q.sub).estimated_total().max(1));
+                max_est[t] = max_est[t].max(est);
+                if queues[t].is_empty() {
+                    busy_periods[t] += 1;
+                }
+                queues[t].push_back(Queued {
+                    idx: next_arrival,
+                    est,
+                    entered_round: round,
+                });
+                queued_total += 1;
+            }
+            next_arrival += 1;
+        }
+        // Events anchored past the end of the stream fire once every
+        // arrival is in.
+        if next_arrival >= stream.len() {
+            while next_event < events.len() {
+                world.apply(&events[next_event].event);
+                next_event += 1;
+            }
+        }
+        rec.gauge("serve_queue_depth", Domain::Sim, now, queued_total as f64);
+
+        // 2. Deficit round robin: grant each backlogged tenant a quantum,
+        // admit from its queue head while the head fits the deficit.
+        let mut batch: Vec<Queued> = Vec::new();
+        for t in 0..tenants {
+            if queues[t].is_empty() {
+                // Backlog drained: whatever deficit is left is unused
+                // grant — forfeit it. A tenant with nothing queued holds
+                // no claim on future rounds.
+                forfeited[t] += deficit[t];
+                deficit[t] = 0;
+                continue;
+            }
+            rounds_backlogged[t] += 1;
+            deficit[t] += cfg.quantum_bytes;
+            granted[t] += cfg.quantum_bytes;
+            while let Some(head) = queues[t].front() {
+                if head.est <= deficit[t] {
+                    deficit[t] -= head.est;
+                    served[t] += head.est;
+                    batch.push(queues[t].pop_front().unwrap());
+                    queued_total -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 3. Load shedding: queue heads that have waited out their budget.
+        for t in 0..tenants {
+            while let Some(head) = queues[t].front() {
+                if round >= head.entered_round + cfg.max_wait_rounds as u64 {
+                    let waited = round - head.entered_round;
+                    let idx = head.idx;
+                    queues[t].pop_front();
+                    queued_total -= 1;
+                    outcomes[idx] = Some(Disposition::Shed {
+                        waited_rounds: waited,
+                    });
+                    shed[t] += 1;
+                    let q = &stream[idx];
+                    rec.scoped(QueryCtx::new(q.id).tenant(tenant_name(q.tenant)))
+                        .add("serve_shed_total", 1);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 4. Plan the admitted batch through the cache, one batched
+        // planner walk for all the misses.
+        if !batch.is_empty() {
+            let key = world.epoch_key();
+            let mut subs: Vec<u64> = batch.iter().map(|b| stream[b.idx].sub.0).collect();
+            subs.sort_unstable();
+            subs.dedup();
+            let mut plans: FastMap<u64, Assignment> = FastMap::default();
+            let mut hit_subs: FastMap<u64, bool> = FastMap::default();
+            let mut missing: Vec<datanet_dfs::SubDatasetId> = Vec::new();
+            for &s in &subs {
+                let id = datanet_dfs::SubDatasetId(s);
+                if cfg.cache {
+                    if let Some(plan) = cache.get(id, key) {
+                        plans.insert(s, plan.clone());
+                        hit_subs.insert(s, true);
+                        continue;
+                    }
+                }
+                missing.push(id);
+            }
+            if !missing.is_empty() {
+                for (id, plan) in missing.iter().zip(world.plan_batch(&missing, cfg.maxflow)) {
+                    if cfg.cache {
+                        cache.insert(*id, key, plan.clone());
+                    }
+                    plans.insert(id.0, plan);
+                    hit_subs.insert(id.0, false);
+                }
+            }
+            for item in batch {
+                let q = &stream[item.idx];
+                let plan = &plans[&q.sub.0];
+                let digest = plan_digest(plan);
+                let (duration_us, blocks) = *exec_memo.entry(digest).or_insert_with(|| {
+                    let truth = world.dfs().subdataset_distribution(q.sub);
+                    let makespan = planned_makespan(world.dfs(), &truth, plan, &sel_cfg);
+                    (makespan.as_micros().max(1), plan.assigned_blocks())
+                });
+                outcomes[item.idx] = Some(Disposition::Completed {
+                    sub: q.sub.0,
+                    epoch: key,
+                    cache_hit: hit_subs[&q.sub.0],
+                    plan_digest: digest,
+                    est_bytes: item.est,
+                    assigned_blocks: blocks,
+                    round,
+                });
+                admitted[q.tenant as usize] += 1;
+                rec.scoped(QueryCtx::new(q.id).tenant(tenant_name(q.tenant)))
+                    .add("serve_admitted_total", 1);
+                exec.push(ExecItem {
+                    idx: item.idx,
+                    ready_us: now,
+                    duration_us,
+                });
+            }
+        }
+        round += 1;
+    }
+
+    // Final settlement: the run ends with every queue empty, so residual
+    // deficits are unused grant — forfeit them. After this,
+    // `served + forfeited == granted` holds exactly for every tenant.
+    for t in 0..tenants {
+        forfeited[t] += deficit[t];
+        deficit[t] = 0;
+    }
+
+    rec.add("serve_cache_hits_total", cache.hits());
+    rec.add("serve_cache_misses_total", cache.misses());
+
+    // 5. Execution plane: drain admitted queries in admission order over
+    // the worker pool. Ties on the earliest-free worker break by the
+    // schedule seed — by construction this can only relabel *which*
+    // worker runs a query at the same instant, so answers and even
+    // latencies are independent of the seed.
+    let workers = cfg.workers as usize;
+    let mut rng = StdRng::seed_from_u64(cfg.schedule_seed ^ 0x5E4E_57EA_0000_0002);
+    let mut free = vec![0u64; workers];
+    let mut busy = vec![0u64; workers];
+    let mut makespan_us = 0u64;
+    let mut latencies: Vec<u64> = Vec::with_capacity(exec.len());
+    for item in &exec {
+        let min_free = *free.iter().min().unwrap();
+        let ties: Vec<usize> = (0..workers).filter(|&w| free[w] == min_free).collect();
+        let w = ties[rng.gen_range(0..ties.len())];
+        let q = &stream[item.idx];
+        let start = item.ready_us.max(free[w]);
+        let end = start + item.duration_us;
+        free[w] = end;
+        busy[w] += item.duration_us;
+        makespan_us = makespan_us.max(end);
+        let latency = end - q.arrival_us;
+        latencies.push(latency);
+        let scoped = rec.scoped(QueryCtx::new(q.id).tenant(tenant_name(q.tenant)));
+        let span = scoped.begin(
+            Category::Serve,
+            "execute",
+            Domain::Sim,
+            start,
+            SpanCtx::default().sub(q.sub.0).node(w),
+        );
+        scoped.end(span, end);
+        scoped.observe_at("serve_latency_us", end, latency);
+    }
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let timing = ServeTiming {
+        workers: cfg.workers,
+        schedule_seed: cfg.schedule_seed,
+        makespan_us,
+        p50_latency_us: percentile(&sorted, 50),
+        p99_latency_us: percentile(&sorted, 99),
+        throughput_qps: if makespan_us == 0 {
+            0.0
+        } else {
+            exec.len() as f64 / (makespan_us as f64 / 1e6)
+        },
+        worker_busy_us: busy,
+    };
+
+    let answers = ServeAnswers {
+        outcomes: outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| QueryOutcome {
+                id: stream[i].id,
+                tenant: stream[i].tenant,
+                disposition: d.expect("every query gets exactly one disposition"),
+            })
+            .collect(),
+        tenants: (0..tenants)
+            .map(|t| TenantStats {
+                tenant: t as u32,
+                granted_bytes: granted[t],
+                served_bytes: served[t],
+                forfeited_bytes: forfeited[t],
+                max_est_bytes: max_est[t],
+                rounds_backlogged: rounds_backlogged[t],
+                busy_periods: busy_periods[t],
+                admitted: admitted[t],
+                rejected: rejected[t],
+                shed: shed[t],
+            })
+            .collect(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        quantum_bytes: cfg.quantum_bytes,
+    };
+    ServeReport { answers, timing }
+}
+
+/// `serve` with the cache-staleness fault planted in the plan cache (the
+/// sim-check harness's self-test). Never call outside tests.
+#[doc(hidden)]
+pub fn serve_with_planted_staleness(
+    world: World,
+    stream: &[QuerySpec],
+    events: &[ScriptedEvent],
+    cfg: &ServeConfig,
+    rec: &Recorder,
+) -> ServeReport {
+    serve_inner(world, stream, events, cfg, rec, true)
+}
+
+fn tenant_name(t: u32) -> String {
+    format!("t{t}")
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{generate_stream, StreamConfig, TenantMix};
+    use crate::world::ServeEvent;
+    use datanet::Separation;
+    use datanet_dfs::{Dfs, DfsConfig, Record, SubDatasetId, Topology};
+
+    fn small_world(seed: u64) -> World {
+        let records: Vec<Record> = (0..120)
+            .map(|i| Record::new(SubDatasetId(i % 5), i, 280, seed ^ i))
+            .collect();
+        let dfs = Dfs::write_random(
+            DfsConfig {
+                block_size: 2_000,
+                replication: 2,
+                topology: Topology::single_rack(4),
+                seed,
+            },
+            records,
+        );
+        World::new(dfs, 5, Separation::Alpha(0.4), seed)
+    }
+
+    fn small_stream(mix: TenantMix, seed: u64) -> Vec<QuerySpec> {
+        generate_stream(&StreamConfig {
+            tenants: 3,
+            queries: 40,
+            gap_us: 500,
+            subdatasets: 5,
+            mix,
+            seed,
+        })
+    }
+
+    fn run(cfg: &ServeConfig, mix: TenantMix, seed: u64) -> ServeReport {
+        serve(
+            small_world(seed),
+            &small_stream(mix, seed),
+            &[],
+            cfg,
+            &Recorder::off(),
+        )
+    }
+
+    #[test]
+    fn every_query_gets_exactly_one_disposition_and_counts_balance() {
+        for mix in TenantMix::ALL {
+            let report = run(&ServeConfig::default(), mix, 3);
+            let a = &report.answers;
+            assert_eq!(a.outcomes.len(), 40);
+            for (i, o) in a.outcomes.iter().enumerate() {
+                assert_eq!(o.id, i as u64, "outcomes stay in stream order");
+            }
+            for ts in &a.tenants {
+                let of_tenant = a.outcomes.iter().filter(|o| o.tenant == ts.tenant);
+                let (mut c, mut r, mut s) = (0u32, 0u32, 0u32);
+                for o in of_tenant {
+                    match o.disposition {
+                        Disposition::Completed { .. } => c += 1,
+                        Disposition::Rejected { .. } => r += 1,
+                        Disposition::Shed { .. } => s += 1,
+                    }
+                }
+                assert_eq!((c, r, s), (ts.admitted, ts.rejected, ts.shed));
+            }
+        }
+    }
+
+    #[test]
+    fn drr_invariants_hold_for_every_tenant() {
+        for mix in TenantMix::ALL {
+            // A tight quantum forces multi-round backlogs so the
+            // invariants are exercised, not vacuous.
+            let cfg = ServeConfig {
+                quantum_bytes: 4 * 1024,
+                queue_cap: 8,
+                max_wait_rounds: 4,
+                ..ServeConfig::default()
+            };
+            let report = run(&cfg, mix, 5);
+            for ts in &report.answers.tenants {
+                assert_eq!(
+                    ts.granted_bytes,
+                    ts.rounds_backlogged * cfg.quantum_bytes,
+                    "grant accrues exactly one quantum per backlogged round"
+                );
+                assert_eq!(
+                    ts.served_bytes + ts.forfeited_bytes,
+                    ts.granted_bytes,
+                    "every granted byte is spent or returned"
+                );
+                assert!(
+                    ts.forfeited_bytes
+                        <= ts.busy_periods as u64 * (cfg.quantum_bytes + ts.max_est_bytes),
+                    "forfeit is bounded per backlog episode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn answers_are_identical_across_worker_counts_and_schedule_seeds() {
+        let base = run(&ServeConfig::default(), TenantMix::Skewed, 7);
+        for (workers, schedule_seed) in [(1, 0), (4, 9), (16, 1234)] {
+            let other = run(
+                &ServeConfig {
+                    workers,
+                    schedule_seed,
+                    ..ServeConfig::default()
+                },
+                TenantMix::Skewed,
+                7,
+            );
+            assert_eq!(
+                base.answers.canonical_json(),
+                other.answers.canonical_json(),
+                "decision plane must not see the execution plane"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_on_and_cache_off_agree_after_normalisation() {
+        let events = [
+            ScriptedEvent {
+                at_query: 12,
+                event: ServeEvent::IngestCommit { blocks: 2 },
+            },
+            ScriptedEvent {
+                at_query: 25,
+                event: ServeEvent::NodeLoss { node: 1 },
+            },
+        ];
+        for mix in TenantMix::ALL {
+            let on = serve(
+                small_world(11),
+                &small_stream(mix, 11),
+                &events,
+                &ServeConfig::default(),
+                &Recorder::off(),
+            );
+            let off = serve(
+                small_world(11),
+                &small_stream(mix, 11),
+                &events,
+                &ServeConfig {
+                    cache: false,
+                    ..ServeConfig::default()
+                },
+                &Recorder::off(),
+            );
+            assert!(on.answers.cache_hits > 0, "the cache should be exercised");
+            assert_eq!(off.answers.cache_hits, 0);
+            assert_eq!(
+                on.answers.normalized(),
+                off.answers.normalized(),
+                "a coherent cache changes where plans come from, never what they are"
+            );
+        }
+    }
+
+    #[test]
+    fn a_full_queue_rejects_and_stale_waiters_shed() {
+        let cfg = ServeConfig {
+            queue_cap: 4,
+            quantum_bytes: 1, // nearly nothing admits per round
+            max_wait_rounds: 2,
+            ..ServeConfig::default()
+        };
+        let report = run(&cfg, TenantMix::Adversarial, 13);
+        let a = &report.answers;
+        let rejected = a
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.disposition,
+                    Disposition::Rejected {
+                        reason: RejectReason::QueueFull
+                    }
+                )
+            })
+            .count();
+        let shed = a
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.disposition, Disposition::Shed { .. }))
+            .count();
+        assert!(rejected > 0, "the bounded queue must reject under flood");
+        assert!(shed > 0, "waiters past the budget must shed");
+        for o in &a.outcomes {
+            if let Disposition::Shed { waited_rounds } = o.disposition {
+                assert!(waited_rounds >= cfg.max_wait_rounds as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_staleness_serves_an_old_plan_across_an_ingest_commit() {
+        let events = [ScriptedEvent {
+            at_query: 10,
+            event: ServeEvent::IngestCommit { blocks: 3 },
+        }];
+        let cfg = ServeConfig::default();
+        let stream = small_stream(TenantMix::Adversarial, 17);
+        let clean = serve(small_world(17), &stream, &events, &cfg, &Recorder::off());
+        let buggy =
+            serve_with_planted_staleness(small_world(17), &stream, &events, &cfg, &Recorder::off());
+        // Find a query completed after the commit in both runs: the buggy
+        // run must hand back the pre-commit digest.
+        let mut diverged = false;
+        for (c, b) in clean.answers.outcomes.iter().zip(&buggy.answers.outcomes) {
+            if let (
+                Disposition::Completed {
+                    epoch: ce,
+                    plan_digest: cd,
+                    ..
+                },
+                Disposition::Completed {
+                    epoch: be,
+                    plan_digest: bd,
+                    ..
+                },
+            ) = (&c.disposition, &b.disposition)
+            {
+                if ce.ingest > 0 && be.ingest > 0 && cd != bd {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(
+            diverged,
+            "the planted fault must observably serve a stale plan"
+        );
+    }
+
+    #[test]
+    fn timing_varies_with_workers_while_answers_do_not() {
+        let one = run(
+            &ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            TenantMix::Uniform,
+            19,
+        );
+        let four = run(
+            &ServeConfig {
+                workers: 4,
+                ..ServeConfig::default()
+            },
+            TenantMix::Uniform,
+            19,
+        );
+        assert_eq!(one.answers, four.answers);
+        assert_eq!(one.timing.worker_busy_us.len(), 1);
+        assert_eq!(four.timing.worker_busy_us.len(), 4);
+        assert!(
+            four.timing.makespan_us <= one.timing.makespan_us,
+            "more workers never lengthen the schedule"
+        );
+        assert!(one.timing.throughput_qps > 0.0);
+    }
+}

@@ -65,7 +65,7 @@ pub use ingest::{CommitPlan, IngestConfig, IngestStats, Ingestor};
 pub use memory::MemoryModel;
 pub use planner::{
     plan_aggregation, uniform_baseline_traffic, AggregationPlan, Algorithm1, Assignment,
-    BalancePolicy, FordFulkersonPlanner,
+    BalancePolicy, EpochKey, FordFulkersonPlanner, PlanCache,
 };
 pub use planner::{plan_balanced_batch, plan_maxflow_batch};
 pub use retry::{RetryBudget, RetryPolicy};
@@ -84,7 +84,7 @@ pub mod prelude {
     pub use crate::memory::MemoryModel;
     pub use crate::planner::{
         plan_aggregation, uniform_baseline_traffic, AggregationPlan, Algorithm1, Assignment,
-        BalancePolicy, FordFulkersonPlanner,
+        BalancePolicy, EpochKey, FordFulkersonPlanner, PlanCache,
     };
     pub use crate::planner::{plan_balanced_batch, plan_maxflow_batch};
     pub use crate::scan::ElasticMapArray;

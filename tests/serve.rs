@@ -1,0 +1,204 @@
+//! Integration properties for the multi-tenant serving plane
+//! (`datanet-serve`).
+//!
+//! Two properties anchor this file:
+//!
+//! 1. **Concurrent ≡ sequential** — the canonical answers section of a
+//!    serve report is byte-identical across any worker count and any
+//!    schedule seed, for ≥ 20 stream seeds × all three tenant mixes. The
+//!    decision plane never consults the execution plane, so concurrency
+//!    can move *when* work runs but never what it produces.
+//! 2. **Cache-invalidation crash sweep** — an ingest commit or a node
+//!    loss injected at *every* stream position (the same prefix
+//!    enumeration the durable-store sweeps use, via
+//!    [`testkit::write_prefixes`]) never yields a stale cached plan:
+//!    every completed query's served digest equals a fresh plan's digest
+//!    at the epoch the outcome claims.
+
+use datanet::Separation;
+use datanet_dfs::{Dfs, DfsConfig, Record, SubDatasetId, Topology};
+use datanet_integration::testkit;
+use datanet_obs::Recorder;
+use datanet_serve::{
+    generate_stream, plan_digest, serve, Disposition, QuerySpec, ScriptedEvent, ServeConfig,
+    ServeEvent, StreamConfig, TenantMix, World,
+};
+
+const SUBDATASETS: u64 = 5;
+
+fn build_world(seed: u64) -> World {
+    let records: Vec<Record> = (0..150)
+        .map(|i| Record::new(SubDatasetId(i % SUBDATASETS), i, 260, seed ^ i))
+        .collect();
+    let dfs = Dfs::write_random(
+        DfsConfig {
+            block_size: 2_000,
+            replication: 2,
+            topology: Topology::single_rack(4),
+            seed,
+        },
+        records,
+    );
+    World::new(dfs, SUBDATASETS, Separation::Alpha(0.4), seed)
+}
+
+fn build_stream(mix: TenantMix, seed: u64, queries: u32) -> Vec<QuerySpec> {
+    generate_stream(&StreamConfig {
+        tenants: 3,
+        queries,
+        gap_us: 400,
+        subdatasets: SUBDATASETS,
+        mix,
+        seed,
+    })
+}
+
+/// Property 1: any seeded worker interleaving produces the sequential
+/// run's answers, byte for byte, across ≥ 20 seeds × all tenant mixes.
+#[test]
+fn concurrent_answers_equal_sequential_over_seeds_and_mixes() {
+    for seed in 0..20u64 {
+        for mix in TenantMix::ALL {
+            let stream = build_stream(mix, seed, 30);
+            let sequential = serve(
+                build_world(seed),
+                &stream,
+                &[],
+                &ServeConfig {
+                    workers: 1,
+                    schedule_seed: 0,
+                    ..ServeConfig::default()
+                },
+                &Recorder::off(),
+            );
+            for (workers, schedule_seed) in [(3, seed ^ 0xABCD), (8, seed.rotate_left(17))] {
+                let concurrent = serve(
+                    build_world(seed),
+                    &stream,
+                    &[],
+                    &ServeConfig {
+                        workers,
+                        schedule_seed,
+                        ..ServeConfig::default()
+                    },
+                    &Recorder::off(),
+                );
+                assert_eq!(
+                    concurrent.answers.canonical_json(),
+                    sequential.answers.canonical_json(),
+                    "seed {seed} mix {} workers {workers}: concurrent answers \
+                     diverged from sequential",
+                    mix.as_str()
+                );
+            }
+        }
+    }
+}
+
+/// Property 2: the epoch-keyed cache never serves a stale plan, wherever
+/// a world mutation lands in the stream. For each event kind, inject it
+/// before every stream position (and after the last arrival), then check
+/// every completed outcome's digest against a fresh plan computed on a
+/// replayed world at the claimed epoch.
+#[test]
+fn cache_invalidation_sweep_never_serves_a_stale_plan() {
+    let queries = 12u32;
+    let seed = 23u64;
+    let stream = build_stream(TenantMix::Uniform, seed, queries);
+    let cfg = ServeConfig::default();
+    let kinds = [
+        ServeEvent::IngestCommit { blocks: 2 },
+        ServeEvent::NodeLoss { node: 1 },
+    ];
+    for event in kinds {
+        let mut saw_pre_epoch = false;
+        let mut saw_post_epoch = false;
+        // Same crash-point enumeration as the durable-store sweeps:
+        // nothing before the event, each proper prefix, everything.
+        for at in testkit::write_prefixes(queries as usize) {
+            let events = [ScriptedEvent {
+                at_query: at as u32,
+                event,
+            }];
+            let report = serve(build_world(seed), &stream, &events, &cfg, &Recorder::off());
+
+            // Replay the event prefix to rebuild each reachable world.
+            let mut worlds = vec![build_world(seed)];
+            let mut post = build_world(seed);
+            post.apply(&event);
+            worlds.push(post);
+
+            for o in &report.answers.outcomes {
+                let Disposition::Completed {
+                    sub,
+                    epoch,
+                    plan_digest: served,
+                    ..
+                } = o.disposition
+                else {
+                    continue;
+                };
+                let w = worlds
+                    .iter()
+                    .find(|w| w.epoch_key() == epoch)
+                    .unwrap_or_else(|| {
+                        panic!("event at {at}: query {} claims unreachable epoch", o.id)
+                    });
+                let fresh = plan_digest(&w.plan_batch(&[SubDatasetId(sub)], cfg.maxflow)[0]);
+                assert_eq!(
+                    served, fresh,
+                    "event at {at}: query {} (sub-dataset {sub}) was served a \
+                     stale cached plan",
+                    o.id
+                );
+                if epoch == worlds[0].epoch_key() {
+                    saw_pre_epoch = true;
+                } else {
+                    saw_post_epoch = true;
+                }
+            }
+            assert!(
+                report
+                    .answers
+                    .outcomes
+                    .iter()
+                    .any(|o| matches!(o.disposition, Disposition::Completed { .. })),
+                "event at {at}: the sweep must complete queries to be meaningful"
+            );
+        }
+        // The sweep crossed the mutation in both directions: some
+        // completions before it, some after — otherwise the property
+        // above is vacuous.
+        assert!(
+            saw_pre_epoch && saw_post_epoch,
+            "sweep never observed both epochs for {event:?}"
+        );
+    }
+}
+
+/// The cache is not a bystander in these sweeps: with the mutation
+/// mid-stream, repeated sub-dataset requests must hit on both sides of
+/// the epoch boundary.
+#[test]
+fn sweep_runs_actually_exercise_the_cache() {
+    let stream = build_stream(TenantMix::Adversarial, 31, 16);
+    let events = [ScriptedEvent {
+        at_query: 8,
+        event: ServeEvent::IngestCommit { blocks: 2 },
+    }];
+    let report = serve(
+        build_world(31),
+        &stream,
+        &events,
+        &ServeConfig::default(),
+        &Recorder::off(),
+    );
+    assert!(
+        report.answers.cache_hits > 0,
+        "an adversarial mix hammering one sub-dataset must produce cache hits"
+    );
+    assert!(
+        report.answers.cache_misses >= 2,
+        "the epoch bump must force at least one fresh plan per side"
+    );
+}

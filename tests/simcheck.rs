@@ -141,6 +141,61 @@ fn planted_reducer_overload_is_caught_and_shrunk() {
     );
 }
 
+/// Acceptance self-test for the serving axis: a planted cache-staleness
+/// bug that makes the plan cache ignore epoch keys (behind the test-only
+/// `PlanCache::plant_staleness` hook) must be caught by the
+/// `serve-cache-coherence` oracle — a query completed after a scripted
+/// ingest commit or node loss gets handed the pre-mutation plan, whose
+/// digest no longer matches a fresh plan at the epoch the outcome claims
+/// — and shrunk to a world of ≤ 8 blocks serving ≤ 3 tenants that still
+/// exhibits it.
+#[test]
+fn planted_cache_staleness_bug_is_caught_and_shrunk() {
+    let seed = 0u64;
+    let sc = Scenario::from_seed(seed);
+    assert!(
+        check_scenario(&sc).passed(),
+        "seed {seed} must be clean without the planted bug"
+    );
+
+    let opts = CheckOptions {
+        stale_serve_cache: true,
+        ..CheckOptions::default()
+    };
+    let out = check_scenario_with(&sc, &opts);
+    assert!(
+        out.violations
+            .iter()
+            .any(|v| v.oracle == "serve-cache-coherence"),
+        "planted cache staleness not caught: {:#?}",
+        out.violations
+    );
+
+    let shrunk = shrink(&sc, &opts).expect("a failing scenario must shrink");
+    assert!(
+        shrunk
+            .outcome
+            .violations
+            .iter()
+            .any(|v| v.oracle == "serve-cache-coherence"),
+        "shrinking wandered off the original oracle"
+    );
+    assert!(
+        shrunk.outcome.blocks <= 8,
+        "repro still has {} blocks",
+        shrunk.outcome.blocks
+    );
+    assert!(
+        shrunk.scenario.serve.tenants <= 3,
+        "repro still serves {} tenants",
+        shrunk.scenario.serve.tenants
+    );
+    assert!(
+        !shrunk.scenario.serve.events.is_empty(),
+        "staleness needs at least one world mutation to be observable"
+    );
+}
+
 /// A shrunk failure round-trips through a repro file and replays to the
 /// same violations on a fresh process — the file alone is the bug report.
 #[test]
